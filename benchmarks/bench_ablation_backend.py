@@ -1,0 +1,72 @@
+"""Ablation: violation detection - in-memory hash join vs sqlite SQL views.
+
+Algorithm 2 retrieves violation sets with one SQL view per constraint; the
+library also ships an in-memory detector with the same semantics.  This
+ablation times both on identical Client/Buy databases (detection only - no
+repair), validating that the two paths agree and quantifying their cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import SqliteBackend
+from repro.violations import find_all_violations
+from repro.workloads import client_buy_workload
+
+from conftest import record_point
+
+SIZES = [500, 2000]
+TABLE = "Ablation: violation detection backend (seconds)"
+
+_WORKLOADS = {}
+_SQLITE = {}
+
+
+def _workload(n_clients):
+    if n_clients not in _WORKLOADS:
+        _WORKLOADS[n_clients] = client_buy_workload(
+            n_clients, inconsistency_ratio=0.3, seed=0
+        )
+    return _WORKLOADS[n_clients]
+
+
+def _sqlite(n_clients):
+    if n_clients not in _SQLITE:
+        _SQLITE[n_clients] = SqliteBackend.from_instance(
+            _workload(n_clients).instance
+        )
+    return _SQLITE[n_clients]
+
+
+@pytest.mark.parametrize("n_clients", SIZES)
+def test_detect_in_memory(benchmark, n_clients):
+    workload = _workload(n_clients)
+    benchmark.group = f"detection n={n_clients}"
+    violations = benchmark.pedantic(
+        lambda: find_all_violations(workload.instance, workload.constraints),
+        rounds=3,
+        iterations=1,
+    )
+    assert violations
+    record_point(TABLE, "in-memory join", n_clients, benchmark.stats.stats.mean)
+
+
+@pytest.mark.parametrize("n_clients", SIZES)
+def test_detect_sqlite_views(benchmark, n_clients):
+    workload = _workload(n_clients)
+    backend = _sqlite(n_clients)
+    benchmark.group = f"detection n={n_clients}"
+    violations = benchmark.pedantic(
+        lambda: backend.find_violations(workload.schema, workload.constraints),
+        rounds=3,
+        iterations=1,
+    )
+    record_point(TABLE, "sqlite SQL views", n_clients, benchmark.stats.stats.mean)
+
+    # both paths must find the same violation sets.
+    in_memory = find_all_violations(workload.instance, workload.constraints)
+    as_labels = lambda vs: {
+        (v.constraint.name, frozenset(t.ref for t in v)) for v in vs
+    }
+    assert as_labels(violations) == as_labels(in_memory)

@@ -1,0 +1,65 @@
+"""Ablation: cardinality (tuple-deletion) repairs via the δ transformation.
+
+Section 5 reduces minimum-cardinality deletion repairs to attribute-update
+repairs.  This ablation times the full reduction pipeline (transform +
+detect + solve + project) on growing Client/Buy databases and checks the
+semantic invariants: the result is consistent and deletes no more tuples
+than are inconsistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cardinality_repair, inconsistency_profile, is_consistent
+from repro.workloads import client_buy_workload
+
+from conftest import record_point
+
+SIZES = [100, 400, 1600]
+TABLE = "Ablation: cardinality repair end-to-end (seconds)"
+
+
+@pytest.mark.parametrize("n_clients", SIZES)
+def test_cardinality_repair_scaling(benchmark, n_clients):
+    workload = client_buy_workload(n_clients, inconsistency_ratio=0.3, seed=0)
+    benchmark.group = "cardinality"
+    result = benchmark.pedantic(
+        lambda: cardinality_repair(
+            workload.instance, workload.constraints, algorithm="modified-greedy"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert is_consistent(result.repaired, workload.constraints)
+    profile = inconsistency_profile(workload.instance, workload.constraints)
+    assert 0 < result.deletions <= profile.inconsistent_tuples
+    record_point(TABLE, "delta-reduction", n_clients, benchmark.stats.stats.mean)
+    record_point(
+        "Ablation: deletions vs inconsistent tuples",
+        "deleted fraction",
+        n_clients,
+        result.deletions / profile.inconsistent_tuples,
+    )
+    benchmark.extra_info["deletions"] = result.deletions
+
+
+@pytest.mark.parametrize("mode", ["delete", "mixed"])
+def test_mode_comparison(benchmark, mode):
+    """Mixed mode (conclusion) never deletes more than pure-delete mode."""
+    workload = client_buy_workload(200, inconsistency_ratio=0.3, seed=1)
+    benchmark.group = "cardinality modes"
+    result = benchmark.pedantic(
+        lambda: cardinality_repair(
+            workload.instance,
+            workload.constraints,
+            mode=mode,
+            table_weights={"Client": 5.0, "Buy": 5.0} if mode == "mixed" else None,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert is_consistent(result.repaired, workload.constraints)
+    record_point(
+        "Ablation: repair mode (n=200)", mode, 200, float(result.deletions)
+    )

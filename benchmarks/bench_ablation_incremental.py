@@ -1,0 +1,104 @@
+"""Ablation: incremental repair vs full re-repair after an update batch.
+
+The incremental engine anchors violation detection on the changed tuples,
+so committing a small batch into a large consistent database costs work
+proportional to the batch, not the database.  This bench loads a repaired
+Client/Buy database, applies a fixed dirty batch, and times (a) an
+incremental commit vs (b) re-running the full batch pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IncrementalRepairer, is_consistent, repair_database
+from repro.workloads import client_buy_workload
+
+from conftest import record_point
+
+TABLE = "Ablation: incremental commit vs full re-repair (seconds)"
+BATCH = 10      # dirty clients (each with one bad purchase) per commit
+
+
+def _base(n_clients):
+    workload = client_buy_workload(n_clients, inconsistency_ratio=0.3, seed=0)
+    return workload
+
+
+@pytest.mark.parametrize("n_clients", [500, 2000])
+def test_incremental_commit(benchmark, n_clients):
+    workload = _base(n_clients)
+    repairer = IncrementalRepairer(workload.instance, workload.constraints)
+
+    counter = [0]
+
+    def one_batch():
+        base = 10_000 + counter[0] * BATCH
+        counter[0] += 1
+        for i in range(BATCH):
+            repairer.insert("Client", (base + i, 15, 80))
+            repairer.insert("Buy", (base + i, 0, 90))
+        return repairer.commit()
+
+    benchmark.group = f"incremental n={n_clients}"
+    result = benchmark.pedantic(one_batch, rounds=3, iterations=1)
+    assert result.violations_before == 2 * BATCH
+    record_point(TABLE, "incremental", n_clients, benchmark.stats.stats.mean)
+    assert is_consistent(repairer.instance, workload.constraints)
+
+
+@pytest.mark.parametrize("n_clients", [500, 2000])
+def test_full_rerepair(benchmark, n_clients):
+    workload = _base(n_clients)
+    clean = repair_database(workload.instance, workload.constraints).repaired
+    dirty = clean.copy()
+    for i in range(BATCH):
+        dirty.insert_row("Client", (10_000 + i, 15, 80))
+        dirty.insert_row("Buy", (10_000 + i, 0, 90))
+
+    benchmark.group = f"incremental n={n_clients}"
+    result = benchmark.pedantic(
+        lambda: repair_database(dirty, workload.constraints, verify=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.violations_before == 2 * BATCH
+    record_point(TABLE, "full re-repair", n_clients, benchmark.stats.stats.mean)
+
+
+def test_incremental_beats_full_at_scale(benchmark):
+    """At 2000 clients, the anchored commit wins by a clear factor."""
+    import time
+
+    workload = _base(2000)
+    repairer = IncrementalRepairer(workload.instance, workload.constraints)
+    clean = repairer.instance
+
+    rounds = [0]
+
+    def incremental_once():
+        base = 20_000 + rounds[0] * BATCH
+        rounds[0] += 1
+        for i in range(BATCH):
+            repairer.insert("Client", (base + i, 15, 80))
+            repairer.insert("Buy", (base + i, 0, 90))
+        started = time.perf_counter()
+        repairer.commit()
+        return time.perf_counter() - started
+
+    dirty = clean.copy()
+    for i in range(BATCH):
+        dirty.insert_row("Client", (30_000 + i, 15, 80))
+        dirty.insert_row("Buy", (30_000 + i, 0, 90))
+
+    def full_once():
+        started = time.perf_counter()
+        repair_database(dirty, workload.constraints, verify=False)
+        return time.perf_counter() - started
+
+    incremental = min(incremental_once() for _ in range(3))
+    full = min(full_once() for _ in range(3))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update({"incremental": incremental, "full": full})
+    record_point(TABLE, "speedup at n=2000", 2000, full / incremental)
+    assert incremental < full

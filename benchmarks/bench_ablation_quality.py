@@ -1,0 +1,120 @@
+"""Ablations: optimality gap, LP anchoring, and ground-truth accuracy.
+
+Three quality studies beyond the paper's Figure 2:
+
+* **decomposed exact vs approximations** - repair MWSCP instances split
+  into small connected components (one per inconsistent tuple cluster),
+  so `exact-decomposed` computes *optimal* covers at sizes the monolithic
+  branch-and-bound cannot touch; this yields the true optimality gap of
+  greedy/layer on the paper's workload.
+* **LP lower bound** - the fractional optimum certifies the gap at any
+  size, and LP frequency rounding joins the comparison as a third
+  approximation (same worst-case factor as layer).
+* **ground-truth accuracy** - clean census → corrupt cells → repair →
+  precision/recall/distance-recovered vs error magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import repair_database
+from repro.analysis import score_repair
+from repro.setcover import (
+    decompose,
+    exact_decomposed_cover,
+    greedy_cover,
+    layer_cover,
+)
+from repro.setcover.lp import lp_lower_bound, lp_rounding_cover
+from repro.workloads import census_workload, corrupt
+
+from conftest import clientbuy_problem, record_point
+
+GAP_TABLE = "Ablation: optimality gap vs decomposed exact (tight values)"
+LP_TABLE = "Ablation: cover weight vs LP lower bound (tight values)"
+ACC_TABLE = "Ablation: ground-truth accuracy vs error magnitude (census)"
+
+
+@pytest.mark.parametrize("n_clients", [100, 400])
+def test_optimality_gap(benchmark, n_clients):
+    problem = clientbuy_problem(n_clients, seed=0, tight_values=True)
+    components = decompose(problem.setcover)
+    assert max(c.instance.n_elements for c in components) <= 64
+
+    benchmark.group = "exact-decomposed"
+    optimal = benchmark.pedantic(
+        lambda: exact_decomposed_cover(problem.setcover), rounds=1, iterations=1
+    )
+    greedy = greedy_cover(problem.setcover)
+    layer = layer_cover(problem.setcover)
+    assert optimal.weight <= greedy.weight + 1e-9
+    assert optimal.weight <= layer.weight + 1e-9
+    record_point(GAP_TABLE, "exact", n_clients, optimal.weight)
+    record_point(GAP_TABLE, "greedy/opt", n_clients, greedy.weight / optimal.weight)
+    record_point(GAP_TABLE, "layer/opt", n_clients, layer.weight / optimal.weight)
+    benchmark.extra_info["components"] = len(components)
+
+
+@pytest.mark.parametrize("n_clients", [100, 400])
+def test_lp_bound_anchor(benchmark, n_clients):
+    problem = clientbuy_problem(n_clients, seed=0, tight_values=True)
+    benchmark.group = "lp"
+    bound = benchmark.pedantic(
+        lambda: lp_lower_bound(problem.setcover), rounds=1, iterations=1
+    )
+    greedy = greedy_cover(problem.setcover)
+    rounded = lp_rounding_cover(problem.setcover)
+    optimal = exact_decomposed_cover(problem.setcover)
+    assert bound <= optimal.weight + 1e-6
+    record_point(LP_TABLE, "lp bound", n_clients, bound)
+    record_point(LP_TABLE, "exact", n_clients, optimal.weight)
+    record_point(LP_TABLE, "greedy", n_clients, greedy.weight)
+    record_point(LP_TABLE, "lp-rounding", n_clients, rounded.weight)
+    # on these clustered instances the LP is near-integral.
+    assert optimal.weight <= 1.2 * bound + 1e-6
+
+
+@pytest.mark.parametrize("max_offset", [10, 50, 100])
+def test_ground_truth_accuracy(benchmark, max_offset):
+    truth = census_workload(400, household_size=3, dirty_ratio=0.0, seed=1)
+    corruption = corrupt(
+        truth.instance,
+        truth.constraints,
+        cell_rate=0.05,
+        max_offset=max_offset,
+        seed=7,
+    )
+    benchmark.group = "accuracy"
+    result = benchmark.pedantic(
+        lambda: repair_database(corruption.dirty, truth.constraints),
+        rounds=1,
+        iterations=1,
+    )
+    score = score_repair(corruption, result)
+    record_point(ACC_TABLE, "recall", max_offset, score.recall)
+    record_point(ACC_TABLE, "precision", max_offset, score.precision)
+    record_point(ACC_TABLE, "dist recovered", max_offset, score.distance_reduction)
+    assert score.repaired_distance <= score.dirty_distance + 1e-9
+
+
+def test_accuracy_recall_monotone(benchmark):
+    """Recall grows with error magnitude (bigger errors cross the bounds)."""
+    truth = census_workload(400, household_size=3, dirty_ratio=0.0, seed=1)
+
+    def recalls():
+        values = []
+        for max_offset in (10, 100):
+            corruption = corrupt(
+                truth.instance,
+                truth.constraints,
+                cell_rate=0.05,
+                max_offset=max_offset,
+                seed=7,
+            )
+            result = repair_database(corruption.dirty, truth.constraints)
+            values.append(score_repair(corruption, result).recall)
+        return values
+
+    small, large = benchmark.pedantic(recalls, rounds=1, iterations=1)
+    assert large > small

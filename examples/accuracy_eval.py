@@ -1,0 +1,81 @@
+"""Ground-truth evaluation: how close do minimal repairs land to the truth?
+
+The paper optimizes the Δ-distance to the *dirty* database; a cleaning
+practitioner cares about the distance to the (unknown) *clean* one.  This
+example runs the full protocol the library supports for that question:
+
+1. generate a clean census database (the ground truth);
+2. inject out-of-range errors into a fraction of cells;
+3. repair the dirty database with the modified greedy algorithm;
+4. score the repair against the truth: precision / recall / value accuracy
+   / distance recovered.
+
+Two effects worth watching in the output:
+
+* errors that do not violate any constraint are invisible to *any*
+  constraint-based cleaner - recall grows with the error magnitude
+  (larger offsets cross the constraint bounds more often);
+* minimal repairs stop at the constraint bound, not at the original
+  value, so value accuracy is low even when detection is perfect - the
+  fundamental modesty of minimal-change semantics.
+
+Run:  python examples/accuracy_eval.py
+"""
+
+from repro import repair_database
+from repro.analysis import format_table, score_repair
+from repro.workloads import census_workload, corrupt
+
+
+def main() -> None:
+    truth = census_workload(800, household_size=3, dirty_ratio=0.0, seed=1)
+    print(f"ground truth: {truth.size} tuples, consistent by construction")
+
+    rows = []
+    for max_offset in (10, 25, 50, 100):
+        corruption = corrupt(
+            truth.instance,
+            truth.constraints,
+            cell_rate=0.05,
+            max_offset=max_offset,
+            seed=7,
+        )
+        result = repair_database(corruption.dirty, truth.constraints)
+        score = score_repair(corruption, result)
+        rows.append(
+            (
+                max_offset,
+                len(corruption.errors),
+                result.violations_before,
+                score.precision,
+                score.recall,
+                score.value_accuracy,
+                score.distance_reduction,
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            "repair quality vs error magnitude (5% cells corrupted)",
+            [
+                "max offset",
+                "errors",
+                "violations",
+                "precision",
+                "recall",
+                "value acc",
+                "dist recovered",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nreading: larger errors cross the constraint bounds more often "
+        "(higher recall),\nand minimal repairs pull them back to the bound "
+        "(partial distance recovery)."
+    )
+
+
+if __name__ == "__main__":
+    main()

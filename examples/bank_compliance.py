@@ -1,0 +1,81 @@
+"""Bank compliance: structure analysis, optimal repairs, and explanations.
+
+A compliance team receives a merged transfer ledger violating three rules
+(transfer caps, funding requirements, overdraft floors).  Before touching
+anything they want to understand the damage; then they want the *optimal*
+repair, not just an approximation; and for the audit log, every change
+must state which rule violation it resolved.
+
+This example exercises the analysis stack on the finance workload:
+
+1. profile the inconsistency and its conflict structure (how violations
+   cluster - the structure that makes per-component exact solving cheap);
+2. compute the optimal repair with ``exact-decomposed`` and compare it to
+   the O(n log n) approximation;
+3. explain a flagged account and print the audited change log.
+
+Run:  python examples/bank_compliance.py
+"""
+
+from repro import repair_database
+from repro.analysis import (
+    analyze_structure,
+    explain_repair,
+    explain_tuple,
+    format_table,
+)
+from repro.workloads import finance_workload
+
+
+def main() -> None:
+    workload = finance_workload(500, transfers_per_account=3, dirty_ratio=0.25, seed=11)
+    print(f"ledger: {workload.size} tuples "
+          f"({workload.instance.count('Account')} accounts)")
+
+    # 1. how bad is it, and how is the damage shaped?
+    structure = analyze_structure(workload.instance, workload.constraints)
+    print("\n== conflict structure ==")
+    print(structure.summary())
+
+    # 2. optimal repair via per-component exact solving vs the approximation.
+    exact = repair_database(
+        workload.instance, workload.constraints, algorithm="exact-decomposed"
+    )
+    greedy = repair_database(
+        workload.instance, workload.constraints, algorithm="modified-greedy"
+    )
+    print("\n== repair quality ==")
+    print(
+        format_table(
+            "optimal vs approximation",
+            ["algorithm", "cover weight", "distance", "cells changed"],
+            [
+                ("exact-decomposed", exact.cover_weight, exact.distance, len(exact.changes)),
+                ("modified-greedy", greedy.cover_weight, greedy.distance, len(greedy.changes)),
+            ],
+        )
+    )
+    assert exact.cover_weight <= greedy.cover_weight + 1e-9
+
+    # 3. explain one flagged account and audit the first few changes.
+    flagged = next(
+        change.ref
+        for change in exact.changes
+        if change.ref.relation_name == "Account"
+    )
+    print("\n== explanation of a flagged account ==")
+    explanation = explain_tuple(
+        workload.instance,
+        workload.constraints,
+        flagged.relation_name,
+        flagged.key_values,
+    )
+    print(explanation.summary())
+
+    print("\n== audit log (first 5 changes) ==")
+    for entry in explain_repair(workload.instance, workload.constraints, exact)[:5]:
+        print(f"  {entry.summary()}")
+
+
+if __name__ == "__main__":
+    main()

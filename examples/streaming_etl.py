@@ -1,0 +1,85 @@
+"""Streaming ETL: keeping a growing database consistent incrementally.
+
+The paper's motivation is data exchange: merged sources produce an
+inconsistent database.  In a continuously-loading pipeline you don't want
+to re-repair the whole database after every batch.  The
+:class:`~repro.repair.incremental.IncrementalRepairer` anchors violation
+detection on each batch's changed tuples (persistent join indexes make the
+lookups O(batch), not O(database)) and repairs just what the batch broke -
+locality guarantees the result stays globally consistent.
+
+This example simulates a nightly feed: a repaired base of clients keeps
+receiving batches of new sign-ups and purchases, some of them violating
+the business rules (minors with credit > 50 or purchases > 25).
+
+Run:  python examples/streaming_etl.py
+"""
+
+import random
+import time
+
+from repro import IncrementalRepairer, is_consistent
+from repro.analysis import format_table
+from repro.workloads import client_buy_workload
+
+
+def main() -> None:
+    base = client_buy_workload(3000, inconsistency_ratio=0.3, seed=0)
+    started = time.perf_counter()
+    repairer = IncrementalRepairer(base.instance, base.constraints)
+    initial_seconds = time.perf_counter() - started
+    print(
+        f"initial load: {base.size} tuples repaired in {initial_seconds * 1000:.0f} ms"
+    )
+
+    rng = random.Random(42)
+    rows = []
+    next_id = 100_000
+    for batch_number in range(1, 6):
+        # a feed of 50 clients, ~30% of them dirty.
+        staged = 0
+        for _ in range(50):
+            client_id = next_id
+            next_id += 1
+            if rng.random() < 0.3:
+                age = rng.randint(10, 17)
+                credit = rng.randint(51, 100)
+                price = rng.randint(26, 99)
+            else:
+                age = rng.randint(18, 80)
+                credit = rng.randint(0, 50)
+                price = rng.randint(1, 25)
+            repairer.insert("Client", (client_id, age, credit))
+            repairer.insert("Buy", (client_id, 0, price))
+            staged += 2
+
+        started = time.perf_counter()
+        result = repairer.commit()
+        elapsed = time.perf_counter() - started
+        rows.append(
+            (
+                batch_number,
+                staged,
+                result.violations_before,
+                len(result.changes),
+                elapsed * 1000,
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            "incremental commits (database keeps growing)",
+            ["batch", "tuples staged", "violations", "cells fixed", "commit ms"],
+            rows,
+        )
+    )
+
+    assert is_consistent(repairer.instance, base.constraints)
+    print(
+        f"\nfinal database: {len(repairer.instance)} tuples, verified consistent"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""repro - efficient approximation algorithms for repairing inconsistent databases.
+
+A faithful, production-quality Python reproduction of Lopatenko & Bravo,
+*"Efficient Approximation Algorithms for Repairing Inconsistent
+Databases"*, ICDE 2007.
+
+The library repairs databases that are inconsistent with respect to a set
+of **local linear denial constraints** by minimally updating numerical
+attribute values.  The optimization problem is MAXSNP-hard; the engine
+reduces it to Minimum-Weight Set Cover (Definition 3.1) and solves that
+with the paper's greedy / modified-greedy / layer algorithms - the
+modified greedy runs in O(n log n) when the degree of inconsistency is
+bounded (Proposition 3.7).  Tuple-deletion (cardinality) repairs are
+supported through the δ-attribute transformation of Section 5.
+
+Quickstart::
+
+    from repro import (
+        Attribute, Relation, Schema, DatabaseInstance,
+        parse_denials, repair_database,
+    )
+
+    schema = Schema([
+        Relation("Paper", [
+            Attribute.hard("id"),
+            Attribute.flexible("ef", weight=1.0),
+            Attribute.flexible("prc", weight=1 / 20),
+            Attribute.flexible("cf", weight=1 / 2),
+        ], key=["id"]),
+    ])
+    db = DatabaseInstance.from_rows(schema, {
+        "Paper": [("B1", 1, 40, 0), ("C2", 1, 20, 1), ("E3", 1, 70, 1)],
+    })
+    ics = parse_denials('''
+        ic1: NOT(Paper(x, y, z, w), y > 0, z < 50)
+        ic2: NOT(Paper(x, y, z, w), y > 0, w < 1)
+    ''')
+    result = repair_database(db, ics, algorithm="modified-greedy")
+    print(result.summary())
+"""
+
+from repro.exceptions import (
+    BackendError,
+    ConfigError,
+    ConstraintError,
+    ConstraintParseError,
+    InstanceError,
+    KeyViolationError,
+    LocalityError,
+    RepairError,
+    ReproError,
+    SchemaError,
+    SetCoverError,
+    UncoverableError,
+    UnrepairableError,
+)
+from repro.model import (
+    Attribute,
+    AttributeRole,
+    DatabaseInstance,
+    Relation,
+    Schema,
+    Tuple,
+    TupleRef,
+)
+from repro.constraints import (
+    BuiltinAtom,
+    Comparator,
+    DenialConstraint,
+    RelationAtom,
+    VariableComparison,
+    is_local,
+    is_local_set,
+    parse_denial,
+    parse_denials,
+)
+from repro.violations import (
+    ViolationSet,
+    find_all_violations,
+    find_violations,
+    inconsistency_profile,
+    is_consistent,
+)
+from repro.fixes import (
+    CITY_DISTANCE,
+    EUCLIDEAN_DISTANCE,
+    ZERO_ONE_DISTANCE,
+    DistanceMetric,
+    database_delta,
+    mono_local_fix,
+    tuple_delta,
+)
+from repro.repair import (
+    CellChange,
+    IncrementalRepairer,
+    RepairResult,
+    build_repair_problem,
+    repair_database,
+)
+from repro.cardinality import (
+    DeletionRepairResult,
+    cardinality_repair,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "BackendError",
+    "ConfigError",
+    "ConstraintError",
+    "ConstraintParseError",
+    "InstanceError",
+    "KeyViolationError",
+    "LocalityError",
+    "RepairError",
+    "ReproError",
+    "SchemaError",
+    "SetCoverError",
+    "UncoverableError",
+    "UnrepairableError",
+    # model
+    "Attribute",
+    "AttributeRole",
+    "DatabaseInstance",
+    "Relation",
+    "Schema",
+    "Tuple",
+    "TupleRef",
+    # constraints
+    "BuiltinAtom",
+    "Comparator",
+    "DenialConstraint",
+    "RelationAtom",
+    "VariableComparison",
+    "is_local",
+    "is_local_set",
+    "parse_denial",
+    "parse_denials",
+    # violations
+    "ViolationSet",
+    "find_all_violations",
+    "find_violations",
+    "inconsistency_profile",
+    "is_consistent",
+    # fixes / distance
+    "CITY_DISTANCE",
+    "EUCLIDEAN_DISTANCE",
+    "ZERO_ONE_DISTANCE",
+    "DistanceMetric",
+    "database_delta",
+    "mono_local_fix",
+    "tuple_delta",
+    # repair
+    "CellChange",
+    "IncrementalRepairer",
+    "RepairResult",
+    "build_repair_problem",
+    "repair_database",
+    # cardinality
+    "DeletionRepairResult",
+    "cardinality_repair",
+    "__version__",
+]

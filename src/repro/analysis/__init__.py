@@ -1,0 +1,38 @@
+"""Repair-quality analytics and text reporting for the bench harness."""
+
+from repro.analysis.stats import (
+    AlgorithmComparison,
+    approximation_ratio,
+    compare_algorithms,
+)
+from repro.analysis.explain import (
+    ChangeExplanation,
+    TupleExplanation,
+    explain_repair,
+    explain_tuple,
+)
+from repro.analysis.quality import RepairScore, score_repair
+from repro.analysis.report import Table, format_series, format_table
+from repro.analysis.structure import (
+    ConflictStructure,
+    analyze_structure,
+    conflict_graph,
+)
+
+__all__ = [
+    "AlgorithmComparison",
+    "approximation_ratio",
+    "compare_algorithms",
+    "ChangeExplanation",
+    "TupleExplanation",
+    "explain_repair",
+    "explain_tuple",
+    "RepairScore",
+    "score_repair",
+    "ConflictStructure",
+    "analyze_structure",
+    "conflict_graph",
+    "Table",
+    "format_series",
+    "format_table",
+]

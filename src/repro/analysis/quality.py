@@ -1,0 +1,117 @@
+"""Repair quality against ground truth: precision/recall/distance.
+
+Given a :class:`~repro.workloads.corruption.CorruptionResult` and a repair
+of its dirty instance, :func:`score_repair` computes the standard
+data-cleaning metrics:
+
+* **cell precision** - of the cells the repair changed, how many were
+  actually corrupted;
+* **cell recall** - of the corrupted cells, how many the repair touched;
+* **value accuracy** - of the touched corrupted cells, how many were
+  restored to *exactly* the clean value;
+* **residual distance** - Δ(clean, repaired) vs Δ(clean, dirty): how much
+  closer to the truth the repair moved the database.
+
+Repairs only see the constraints, not the truth, so perfect scores are not
+expected: an error that violates nothing is invisible (bounds recall), and
+a minimal fix stops at the constraint bound rather than the original value
+(bounds value accuracy).  The metrics quantify exactly that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fixes.distance import CITY_DISTANCE, DistanceMetric, database_delta
+from repro.repair.result import RepairResult
+from repro.workloads.corruption import CorruptionResult
+
+
+@dataclass(frozen=True)
+class RepairScore:
+    """Ground-truth evaluation of one repair."""
+
+    changed_cells: int
+    corrupted_cells: int
+    true_positives: int
+    exact_restorations: int
+    dirty_distance: float
+    repaired_distance: float
+
+    @property
+    def precision(self) -> float:
+        """Fraction of repaired cells that were actually corrupted."""
+        if self.changed_cells == 0:
+            return 1.0
+        return self.true_positives / self.changed_cells
+
+    @property
+    def recall(self) -> float:
+        """Fraction of corrupted cells the repair touched."""
+        if self.corrupted_cells == 0:
+            return 1.0
+        return self.true_positives / self.corrupted_cells
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def value_accuracy(self) -> float:
+        """Fraction of touched corrupted cells restored exactly."""
+        if self.true_positives == 0:
+            return 1.0 if self.corrupted_cells == 0 else 0.0
+        return self.exact_restorations / self.true_positives
+
+    @property
+    def distance_reduction(self) -> float:
+        """How much of the corruption distance the repair recovered.
+
+        1.0 = repaired database equals the truth; 0.0 = no closer than the
+        dirty database; negative = the repair moved *away* from the truth.
+        """
+        if self.dirty_distance == 0:
+            return 1.0 if self.repaired_distance == 0 else 0.0
+        return 1.0 - self.repaired_distance / self.dirty_distance
+
+    def summary(self) -> str:
+        """One paragraph of metrics."""
+        return (
+            f"precision={self.precision:.2f} recall={self.recall:.2f} "
+            f"f1={self.f1:.2f} value_accuracy={self.value_accuracy:.2f} "
+            f"distance: dirty={self.dirty_distance:g} -> "
+            f"repaired={self.repaired_distance:g} "
+            f"(recovered {self.distance_reduction:.0%})"
+        )
+
+
+def score_repair(
+    corruption: CorruptionResult,
+    result: RepairResult,
+    metric: DistanceMetric = CITY_DISTANCE,
+) -> RepairScore:
+    """Score a repair of ``corruption.dirty`` against ``corruption.clean``."""
+    error_index = corruption.error_index
+    changed = {(c.ref, c.attribute) for c in result.changes}
+    true_positives = changed & set(error_index)
+
+    exact = 0
+    for key in true_positives:
+        error = error_index[key]
+        repaired_value = result.repaired.resolve(error.ref)[error.attribute]
+        if repaired_value == error.clean_value:
+            exact += 1
+
+    return RepairScore(
+        changed_cells=len(changed),
+        corrupted_cells=len(error_index),
+        true_positives=len(true_positives),
+        exact_restorations=exact,
+        dirty_distance=database_delta(corruption.clean, corruption.dirty, metric),
+        repaired_distance=database_delta(
+            corruption.clean, result.repaired, metric
+        ),
+    )

@@ -1,0 +1,91 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+The paper reports Figures 2 and 3 as line charts; a terminal harness
+renders the same data as aligned columns, one row per database size and
+one column per algorithm, which preserves exactly the information the
+figures carry (who wins, by how much, and the growth trend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+
+@dataclass
+class Table:
+    """A small column-aligned text table builder."""
+
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the header count."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Render the aligned table."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """One-shot table rendering."""
+    table = Table(headers=headers, title=title)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Mapping[Any, float]],
+) -> str:
+    """Render ``{series name: {x: y}}`` as a table with one column per series.
+
+    This is the textual equivalent of a multi-line figure: x values become
+    rows, series names become columns.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label, *series.keys()]
+    rows = []
+    for x in xs:
+        rows.append(
+            [x, *(points.get(x, float("nan")) for points in series.values())]
+        )
+    return format_table(title, headers, rows)

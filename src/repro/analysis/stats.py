@@ -1,0 +1,79 @@
+"""Quality metrics: approximation ratios and algorithm comparisons.
+
+The Figure-2 harness uses :func:`compare_algorithms` to produce the
+"distance approximation" series (cover weight per algorithm per database),
+optionally anchored by the exact optimum on small instances.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import SetCoverError
+from repro.repair.builder import RepairProblem
+from repro.setcover.exact import exact_cover
+from repro.setcover.result import Cover
+from repro.setcover.solvers import get_solver
+
+
+def approximation_ratio(approximate: Cover, optimal: Cover) -> float:
+    """``weight(approx) / weight(opt)``; 1.0 when both are zero."""
+    if optimal.weight == 0:
+        if approximate.weight == 0:
+            return 1.0
+        raise SetCoverError(
+            "optimal cover has zero weight but approximation does not"
+        )
+    return approximate.weight / optimal.weight
+
+
+@dataclass(frozen=True)
+class AlgorithmComparison:
+    """Covers of several algorithms over one repair problem."""
+
+    covers: Mapping[str, Cover]
+    solve_seconds: Mapping[str, float]
+    optimum: Cover | None = None
+    ratios: Mapping[str, float] = field(default_factory=dict)
+
+    def weight(self, algorithm: str) -> float:
+        """Cover weight of one algorithm."""
+        return self.covers[algorithm].weight
+
+    def best_algorithm(self) -> str:
+        """The algorithm with the lightest cover (ties: first registered)."""
+        return min(self.covers, key=lambda name: self.covers[name].weight)
+
+
+def compare_algorithms(
+    problem: RepairProblem,
+    algorithms: Iterable[str] = ("greedy", "layer"),
+    with_exact: bool = False,
+    exact_max_elements: int = 40,
+) -> AlgorithmComparison:
+    """Solve one problem with several algorithms and collect weights/times.
+
+    ``with_exact`` additionally computes the true optimum when the universe
+    is small enough, enabling real approximation ratios.
+    """
+    covers: dict[str, Cover] = {}
+    seconds: dict[str, float] = {}
+    for name in algorithms:
+        solver = get_solver(name)
+        started = time.perf_counter()
+        covers[name] = solver(problem.setcover)
+        seconds[name] = time.perf_counter() - started
+
+    optimum: Cover | None = None
+    ratios: dict[str, float] = {}
+    if with_exact and problem.setcover.n_elements <= exact_max_elements:
+        optimum = exact_cover(problem.setcover, max_elements=exact_max_elements)
+        ratios = {
+            name: approximation_ratio(cover, optimum)
+            for name, cover in covers.items()
+        }
+    return AlgorithmComparison(
+        covers=covers, solve_seconds=seconds, optimum=optimum, ratios=ratios
+    )

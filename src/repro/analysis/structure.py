@@ -1,0 +1,104 @@
+"""Conflict-structure analysis: the shape of an inconsistency.
+
+The violation sets of ``(D, IC)`` induce the *conflict hypergraph*: tuples
+are vertices, each violation set is a hyperedge.  Its structure governs
+both complexity knobs of the paper - the degree of inconsistency
+(Propositions 3.5/3.7) and the element frequency the layer algorithm's
+factor depends on - and explains why repair MWSCP instances decompose into
+many small components (:mod:`repro.setcover.decompose`).
+
+:func:`conflict_graph` materializes the 2-section of the hypergraph as a
+:mod:`networkx` graph (tuples connected when they co-occur in a violation
+set); :func:`analyze_structure` summarizes everything the benchmarks and
+examples report about inconsistency shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.constraints.denial import DenialConstraint
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import TupleRef
+from repro.violations.detector import ViolationSet, find_all_violations
+
+
+def conflict_graph(violations: Iterable[ViolationSet]) -> "nx.Graph":
+    """The 2-section of the conflict hypergraph over tuple refs.
+
+    Vertices are the refs of tuples participating in some violation;
+    an edge joins two refs that share a violation set.  Singleton
+    violation sets contribute isolated vertices.
+    """
+    graph = nx.Graph()
+    for violation in violations:
+        refs = [t.ref for t in violation.sorted_tuples()]
+        graph.add_nodes_from(refs)
+        for i, left in enumerate(refs):
+            for right in refs[i + 1:]:
+                graph.add_edge(left, right)
+    return graph
+
+
+@dataclass(frozen=True)
+class ConflictStructure:
+    """Summary statistics of the conflict hypergraph."""
+
+    n_violations: int
+    n_conflicting_tuples: int
+    n_components: int
+    largest_component: int
+    mean_component: float
+    max_degree: int                      # Deg(D, IC), Definition 2.4
+    degree_histogram: Mapping[int, int]
+    violation_size_histogram: Mapping[int, int]
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        return (
+            f"violations            : {self.n_violations}\n"
+            f"conflicting tuples    : {self.n_conflicting_tuples}\n"
+            f"conflict components   : {self.n_components} "
+            f"(largest {self.largest_component}, mean {self.mean_component:.1f})\n"
+            f"degree of inconsistency: {self.max_degree} "
+            f"(histogram {dict(self.degree_histogram)})\n"
+            f"violation set sizes   : {dict(self.violation_size_histogram)}"
+        )
+
+
+def analyze_structure(
+    instance: DatabaseInstance,
+    constraints: Iterable[DenialConstraint],
+    violations: Iterable[ViolationSet] | None = None,
+) -> ConflictStructure:
+    """Compute the conflict-structure summary of ``(D, IC)``."""
+    constraints = tuple(constraints)
+    if violations is None:
+        violations = find_all_violations(instance, constraints)
+    violations = tuple(violations)
+
+    degree: Counter[TupleRef] = Counter()
+    size_histogram: Counter[int] = Counter()
+    for violation in violations:
+        size_histogram[len(violation)] += 1
+        for tup in violation:
+            degree[tup.ref] += 1
+
+    graph = conflict_graph(violations)
+    components = [len(c) for c in nx.connected_components(graph)]
+    return ConflictStructure(
+        n_violations=len(violations),
+        n_conflicting_tuples=len(degree),
+        n_components=len(components),
+        largest_component=max(components, default=0),
+        mean_component=(
+            sum(components) / len(components) if components else 0.0
+        ),
+        max_degree=max(degree.values(), default=0),
+        degree_histogram=dict(sorted(Counter(degree.values()).items())),
+        violation_size_histogram=dict(sorted(size_histogram.items())),
+    )

@@ -1,0 +1,26 @@
+"""Cardinality (tuple-deletion) repairs via attribute updates (Section 5).
+
+The δ-attribute transformation (Definition 5.1) reduces minimum-cardinality
+tuple-deletion repairs to attribute-update repairs, so the Section 3
+approximation algorithms apply unchanged.  The conclusion's extensions are
+also implemented: per-table deletion weights, and a *mixed* mode combining
+deletions with value updates.
+"""
+
+from repro.cardinality.transform import (
+    DeltaTransform,
+    build_delta_transform,
+    project_delta,
+)
+from repro.cardinality.engine import (
+    DeletionRepairResult,
+    cardinality_repair,
+)
+
+__all__ = [
+    "DeltaTransform",
+    "build_delta_transform",
+    "project_delta",
+    "DeletionRepairResult",
+    "cardinality_repair",
+]

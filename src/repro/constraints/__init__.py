@@ -1,0 +1,45 @@
+"""Linear denial constraints and their analysis.
+
+A *linear denial constraint* (Section 2) has the form
+``∀x̄ ¬(A₁ ∧ … ∧ A_m)`` where each ``A_i`` is a database atom ``R(x̄_i)`` or
+a built-in atom ``x θ c`` (θ ∈ {=, ≠, <, >, ≤, ≥}), ``x = y`` or ``x ≠ y``.
+This package provides the atom/constraint model, a small textual DSL, the
+*locality* test of Section 2 (conditions (a)-(c)), and compilation of a
+constraint into the SQL violation view of Algorithm 2 / Example 3.6.
+"""
+
+from repro.constraints.atoms import (
+    BuiltinAtom,
+    Comparator,
+    RelationAtom,
+    VariableComparison,
+)
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.parser import parse_denial, parse_denials
+from repro.constraints.locality import (
+    check_local,
+    check_local_set,
+    fix_direction,
+    is_local,
+    is_local_set,
+)
+from repro.constraints.simplify import simplify_constraint, simplify_constraints
+from repro.constraints.sql import violation_query
+
+__all__ = [
+    "BuiltinAtom",
+    "Comparator",
+    "RelationAtom",
+    "VariableComparison",
+    "DenialConstraint",
+    "parse_denial",
+    "parse_denials",
+    "check_local",
+    "check_local_set",
+    "fix_direction",
+    "is_local",
+    "is_local_set",
+    "simplify_constraint",
+    "simplify_constraints",
+    "violation_query",
+]

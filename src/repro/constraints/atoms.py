@@ -1,0 +1,158 @@
+"""Atoms of linear denial constraints.
+
+Three atom kinds appear inside a denial ``∀x̄ ¬(A₁ ∧ … ∧ A_m)``:
+
+* :class:`RelationAtom` - a database atom ``R(x₁, …, x_k)`` binding
+  variables to attribute positions;
+* :class:`BuiltinAtom` - a comparison between a variable and an integer
+  constant, ``x θ c`` with θ ∈ {=, ≠, <, >, ≤, ≥};
+* :class:`VariableComparison` - ``x = y`` or ``x ≠ y`` between two
+  variables (the only variable-variable built-ins linear denials allow).
+
+Comparators know how to evaluate themselves and how to *normalize*:
+footnote 2 of the paper rewrites ``x ≤ c`` as ``x < c+1`` and ``x ≥ c`` as
+``x > c-1`` over the integer domain, which the locality check and the
+mono-local-fix construction (Definition 2.8) both rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ConstraintError
+
+
+class Comparator(enum.Enum):
+    """Comparison operator of a built-in atom."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    def evaluate(self, left: Any, right: Any) -> bool:
+        """Apply the comparison to two values."""
+        if self is Comparator.EQ:
+            return left == right
+        if self is Comparator.NE:
+            return left != right
+        if self is Comparator.LT:
+            return left < right
+        if self is Comparator.GT:
+            return left > right
+        if self is Comparator.LE:
+            return left <= right
+        return left >= right
+
+    @property
+    def sql(self) -> str:
+        """SQL spelling of the operator."""
+        if self is Comparator.NE:
+            return "<>"
+        return self.value
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Comparator":
+        """Parse a comparator from its textual symbol (also accepts ``<>``)."""
+        aliases = {"<>": "!=", "==": "=", "≠": "!=", "≤": "<=", "≥": ">="}
+        symbol = aliases.get(symbol, symbol)
+        for member in cls:
+            if member.value == symbol:
+                return member
+        raise ConstraintError(f"unknown comparison operator: {symbol!r}")
+
+
+@dataclass(frozen=True)
+class RelationAtom:
+    """A database atom ``R(x₁, …, x_k)``.
+
+    ``variables[i]`` is the variable bound to attribute position ``i`` of
+    relation ``relation_name``.  Repeating a variable inside one atom, or
+    across atoms, expresses an equality join.
+    """
+
+    relation_name: str
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ConstraintError(
+                f"relation atom {self.relation_name!r} must bind at least one variable"
+            )
+        for var in self.variables:
+            if not var or not var.replace("_", "").isalnum():
+                raise ConstraintError(f"invalid variable name: {var!r}")
+
+    def positions_of(self, variable: str) -> tuple[int, ...]:
+        """Attribute positions (0-based) where ``variable`` occurs."""
+        return tuple(i for i, v in enumerate(self.variables) if v == variable)
+
+    def __str__(self) -> str:
+        return f"{self.relation_name}({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class BuiltinAtom:
+    """A variable/constant comparison ``x θ c``."""
+
+    variable: str
+    comparator: Comparator
+    constant: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.constant, int) or isinstance(self.constant, bool):
+            raise ConstraintError(
+                f"built-in constant must be an integer, got {self.constant!r}"
+            )
+
+    def evaluate(self, value: Any) -> bool:
+        """True when ``value θ constant`` holds."""
+        return self.comparator.evaluate(value, self.constant)
+
+    def normalized(self) -> tuple["BuiltinAtom", ...]:
+        """Rewrite over ℤ so only ``=``, ``≠``, ``<``, ``>`` remain.
+
+        Footnote 2: ``x ≤ c`` becomes ``x < c+1`` and ``x ≥ c`` becomes
+        ``x > c-1``.  Equality and inequality are returned unchanged (they
+        are only legal on hard attributes, see locality condition (a)).
+        """
+        if self.comparator is Comparator.LE:
+            return (BuiltinAtom(self.variable, Comparator.LT, self.constant + 1),)
+        if self.comparator is Comparator.GE:
+            return (BuiltinAtom(self.variable, Comparator.GT, self.constant - 1),)
+        return (self,)
+
+    def __str__(self) -> str:
+        return f"{self.variable} {self.comparator.value} {self.constant}"
+
+
+@dataclass(frozen=True)
+class VariableComparison:
+    """A variable/variable built-in ``x = y`` or ``x ≠ y``.
+
+    Linear denials only allow equality and inequality between variables
+    (Section 2); order comparisons between variables would make the
+    constraint non-linear.
+    """
+
+    left: str
+    comparator: Comparator
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.comparator not in (Comparator.EQ, Comparator.NE):
+            raise ConstraintError(
+                "variable-variable built-ins may only use = or != "
+                f"(got {self.comparator.value!r})"
+            )
+
+    def evaluate(self, left_value: Any, right_value: Any) -> bool:
+        """True when ``left_value θ right_value`` holds."""
+        return self.comparator.evaluate(left_value, right_value)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.comparator.value} {self.right}"

@@ -1,0 +1,176 @@
+"""Locality check for sets of linear denial constraints (Section 2).
+
+A set ``IC`` of linear denials is *local* when:
+
+(a) attributes participating in equality atoms or joins are all hard;
+(b) every ``ic ∈ IC`` has at least one flexible attribute among the
+    attributes of its built-ins (``A_B(ic) ∩ F ≠ ∅``);
+(c) no flexible attribute appears in ``IC`` both in comparisons of the form
+    ``A < c₁`` and ``A > c₂`` (after the footnote-2 normalization of
+    ``≤``/``≥``/``≠`` into strict comparisons).
+
+Locality guarantees that local fixes never create new inconsistencies and
+that a repair always exists, so the repair engine enforces it up front.
+
+Condition (c) is checked on *flexible* attributes: hard attributes are never
+updated, so mixed comparison directions on them cannot destabilize fixes.
+The check also derives, for every flexible attribute mentioned by the
+built-ins, its unique *fix direction*: ``UP`` when the attribute occurs in
+``<`` comparisons (fixes raise the value to the smallest bound,
+Definition 2.8 case (a)) and ``DOWN`` for ``>`` comparisons (fixes lower the
+value to the largest bound, case (b)).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.constraints.atoms import Comparator
+from repro.constraints.denial import DenialConstraint
+from repro.exceptions import LocalityError
+from repro.model.schema import Schema
+
+
+class FixDirection(enum.Enum):
+    """Direction a mono-local fix moves a flexible attribute."""
+
+    UP = "up"      # attribute occurs in "<" comparisons; fix raises the value
+    DOWN = "down"  # attribute occurs in ">" comparisons; fix lowers the value
+
+
+def _equality_variables(constraint: DenialConstraint) -> set[str]:
+    """Variables occurring in equality-class built-ins (=, ≠) or var-var atoms."""
+    variables: set[str] = set()
+    for builtin in constraint.builtins:
+        if builtin.comparator in (Comparator.EQ, Comparator.NE):
+            variables.add(builtin.variable)
+    for comparison in constraint.variable_comparisons:
+        variables.add(comparison.left)
+        variables.add(comparison.right)
+    return variables
+
+
+def check_local(constraint: DenialConstraint, schema: Schema) -> None:
+    """Check conditions (a) and (b) for one constraint.
+
+    Raises :class:`LocalityError` with a diagnostic message on failure.
+    Condition (c) is inherently a property of the whole set; use
+    :func:`check_local_set` for it.
+    """
+    constraint.validate(schema)
+
+    # (a) equality atoms and joins bind only hard attributes.
+    restricted = _equality_variables(constraint) | set(constraint.join_variables)
+    for variable in restricted:
+        for relation_name, attribute_name in constraint.bound_attributes(
+            variable, schema
+        ):
+            attribute = schema.relation(relation_name).attribute(attribute_name)
+            if attribute.is_flexible:
+                raise LocalityError(
+                    f"{constraint.label}: condition (a) fails - flexible "
+                    f"attribute {relation_name}.{attribute_name} participates "
+                    "in an equality atom or join"
+                )
+
+    # (b) at least one flexible attribute among the built-in attributes.
+    flexible_in_builtins = [
+        (relation_name, attribute_name)
+        for relation_name, attribute_name in constraint.attributes_in_builtins(schema)
+        if schema.relation(relation_name).attribute(attribute_name).is_flexible
+    ]
+    if not flexible_in_builtins:
+        raise LocalityError(
+            f"{constraint.label}: condition (b) fails - no flexible attribute "
+            "occurs in the built-in atoms, so the constraint cannot be "
+            "repaired by attribute updates"
+        )
+
+
+def comparison_directions(
+    constraints: Iterable[DenialConstraint], schema: Schema
+) -> dict[tuple[str, str], set[FixDirection]]:
+    """Map flexible ``(relation, attribute)`` to its comparison directions.
+
+    Only strict comparisons after normalization are considered; equality
+    built-ins on flexible attributes are rejected by condition (a) before
+    this map matters.
+    """
+    directions: dict[tuple[str, str], set[FixDirection]] = {}
+    for constraint in constraints:
+        for builtin in constraint.builtins:
+            for normalized in builtin.normalized():
+                if normalized.comparator is Comparator.LT:
+                    direction = FixDirection.UP
+                elif normalized.comparator is Comparator.GT:
+                    direction = FixDirection.DOWN
+                else:
+                    continue
+                for pair in constraint.bound_attributes(normalized.variable, schema):
+                    relation_name, attribute_name = pair
+                    attribute = schema.relation(relation_name).attribute(attribute_name)
+                    if attribute.is_flexible:
+                        directions.setdefault(pair, set()).add(direction)
+    return directions
+
+
+def check_local_set(
+    constraints: Iterable[DenialConstraint], schema: Schema
+) -> None:
+    """Check that a set of constraints is local (conditions (a)-(c)).
+
+    Raises :class:`LocalityError` on the first failing condition.
+    """
+    constraints = list(constraints)
+    for constraint in constraints:
+        check_local(constraint, schema)
+    for (relation_name, attribute_name), found in comparison_directions(
+        constraints, schema
+    ).items():
+        if len(found) > 1:
+            raise LocalityError(
+                "condition (c) fails - flexible attribute "
+                f"{relation_name}.{attribute_name} appears in both '<' and '>' "
+                "comparisons across the constraint set"
+            )
+
+
+def is_local(constraint: DenialConstraint, schema: Schema) -> bool:
+    """True when ``{constraint}`` is a local set."""
+    return is_local_set([constraint], schema)
+
+
+def is_local_set(
+    constraints: Iterable[DenialConstraint], schema: Schema
+) -> bool:
+    """Boolean form of :func:`check_local_set`."""
+    try:
+        check_local_set(constraints, schema)
+    except LocalityError:
+        return False
+    return True
+
+
+def fix_direction(
+    constraints: Iterable[DenialConstraint],
+    schema: Schema,
+    relation_name: str,
+    attribute_name: str,
+) -> FixDirection | None:
+    """The unique fix direction of a flexible attribute in a local set.
+
+    Returns ``None`` when the attribute occurs in no strict comparison of
+    any constraint (then it has no mono-local fixes).
+    """
+    directions = comparison_directions(constraints, schema).get(
+        (relation_name, attribute_name)
+    )
+    if not directions:
+        return None
+    if len(directions) > 1:
+        raise LocalityError(
+            f"attribute {relation_name}.{attribute_name} has conflicting fix "
+            "directions; the constraint set is not local"
+        )
+    return next(iter(directions))

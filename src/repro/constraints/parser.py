@@ -1,0 +1,218 @@
+"""A small textual DSL for linear denial constraints.
+
+The grammar accepted by :func:`parse_denial`::
+
+    denial      :=  [ "NOT" ] "(" atom ("," atom)* ")"
+                 |  atom ("," atom)*
+    atom        :=  relation_atom | builtin
+    relation    :=  NAME "(" NAME ("," NAME)* ")"
+    builtin     :=  NAME op (INT | NAME)
+    op          :=  "<" | ">" | "<=" | ">=" | "=" | "==" | "!=" | "<>"
+
+Examples (the paper's constraints)::
+
+    ic1: NOT(Paper(x, y, z, w), y > 0, z < 50)
+    ic2: NOT(Paper(x, y, z, w), y > 0, w < 1)
+    ic3: NOT(Pub(x, y, z), Paper(y, u, v, w), z > 40, v < 70)
+
+:func:`parse_denials` parses a multi-line program where each non-empty,
+non-comment line is ``[name :] denial``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.constraints.atoms import (
+    BuiltinAtom,
+    Comparator,
+    RelationAtom,
+    VariableComparison,
+)
+from repro.constraints.denial import DenialConstraint
+from repro.exceptions import ConstraintParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<int>-?\d+)
+    | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<op><=|>=|!=|<>|==|=|<|>)
+    | (?P<lparen>\()
+    | (?P<rparen>\))
+    | (?P<comma>,)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConstraintParseError(
+                f"unexpected character {text[pos]!r} at offset {pos} in {text!r}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append(_Token(kind, match.group(kind)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self, offset: int = 0) -> _Token | None:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ConstraintParseError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ConstraintParseError(
+                f"expected {kind} but found {token.text!r} in {self._source!r}"
+            )
+        return token
+
+    def parse(self, name: str) -> DenialConstraint:
+        wrapped = False
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.text.upper() == "NOT":
+            self._next()
+            self._expect("lparen")
+            wrapped = True
+        elif token is not None and token.kind == "lparen":
+            # A bare "( ... )" wrapper is also accepted.
+            self._next()
+            wrapped = True
+
+        relation_atoms: list[RelationAtom] = []
+        builtins: list[BuiltinAtom] = []
+        variable_comparisons: list[VariableComparison] = []
+        while True:
+            self._parse_atom(relation_atoms, builtins, variable_comparisons)
+            token = self._peek()
+            if token is not None and token.kind == "comma":
+                self._next()
+                continue
+            break
+        if wrapped:
+            self._expect("rparen")
+        if self._peek() is not None:
+            raise ConstraintParseError(
+                f"trailing input {self._peek().text!r} in {self._source!r}"
+            )
+        return DenialConstraint(
+            relation_atoms, builtins, variable_comparisons, name=name
+        )
+
+    def _parse_atom(
+        self,
+        relation_atoms: list[RelationAtom],
+        builtins: list[BuiltinAtom],
+        variable_comparisons: list[VariableComparison],
+    ) -> None:
+        first = self._expect("name")
+        follower = self._peek()
+        if follower is not None and follower.kind == "lparen":
+            self._next()
+            variables = [self._expect("name").text]
+            while self._peek() is not None and self._peek().kind == "comma":
+                self._next()
+                variables.append(self._expect("name").text)
+            self._expect("rparen")
+            relation_atoms.append(RelationAtom(first.text, tuple(variables)))
+            return
+        if follower is not None and follower.kind == "op":
+            operator = Comparator.from_symbol(self._next().text)
+            operand = self._next()
+            if operand.kind == "int":
+                builtins.append(BuiltinAtom(first.text, operator, int(operand.text)))
+                return
+            if operand.kind == "name":
+                variable_comparisons.append(
+                    VariableComparison(first.text, operator, operand.text)
+                )
+                return
+            raise ConstraintParseError(
+                f"expected an integer or variable after operator, found "
+                f"{operand.text!r} in {self._source!r}"
+            )
+        raise ConstraintParseError(
+            f"expected '(' or comparison after {first.text!r} in {self._source!r}"
+        )
+
+
+def parse_denial(text: str, name: str = "") -> DenialConstraint:
+    """Parse one denial constraint from its textual form.
+
+    ``name`` labels the constraint in reports; a ``name:`` prefix inside
+    ``text`` takes precedence.
+    """
+    text = text.strip()
+    head, sep, tail = text.partition(":")
+    if sep and "(" not in head and re.fullmatch(r"[A-Za-z_][\w.-]*", head.strip()):
+        name = head.strip()
+        text = tail.strip()
+    if not text:
+        raise ConstraintParseError("empty constraint text")
+    parser = _Parser(_tokenize(text), text)
+    return parser.parse(name)
+
+
+def parse_denials(source: str | Iterable[str]) -> list[DenialConstraint]:
+    """Parse a multi-line constraint program.
+
+    Blank lines and ``#`` comments are skipped.  Unnamed constraints get
+    sequential names ``ic1``, ``ic2``, ...
+    """
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = list(source)
+    constraints: list[DenialConstraint] = []
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        constraint = parse_denial(stripped)
+        if not constraint.name:
+            constraint = DenialConstraint(
+                constraint.relation_atoms,
+                constraint.builtins,
+                constraint.variable_comparisons,
+                name=f"ic{len(constraints) + 1}",
+            )
+        constraints.append(constraint)
+    return constraints

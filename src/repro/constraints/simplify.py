@@ -1,0 +1,100 @@
+"""Constraint preprocessing: normalize, dedupe, and drop dead denials.
+
+Real constraint sets accumulate redundancy (merged rule books, generated
+rules).  Before building violation views it pays to simplify:
+
+* **bound merging** - within one denial, ``x < 5 ∧ x < 9`` is ``x < 5``
+  and ``x > 2 ∧ x > 7`` is ``x > 7`` (the conjunction is governed by the
+  tightest bound);
+* **dead-body elimination** - a body containing ``x < 5 ∧ x > 9`` (after
+  normalization, empty integer range) can never be satisfied: the denial
+  is vacuously true and can be dropped;
+* **duplicate elimination** - syntactically equal denials (after the
+  above) are kept once.
+
+Simplification is semantics-preserving: the violation sets of the
+simplified set equal those of the original (tested property).  It also
+*reduces* the MLF bound lists, so Definition 2.8 produces identical fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.constraints.atoms import BuiltinAtom, Comparator
+from repro.constraints.denial import DenialConstraint
+
+
+def simplify_constraint(constraint: DenialConstraint) -> DenialConstraint | None:
+    """Simplify one denial; ``None`` when its body is unsatisfiable.
+
+    Equality/inequality built-ins pass through untouched (they are only
+    legal on hard attributes and carry no redundancy of this kind).
+    """
+    lower: dict[str, int] = {}   # variable -> tightest 'x > c' bound
+    upper: dict[str, int] = {}   # variable -> tightest 'x < c' bound
+    passthrough: list[BuiltinAtom] = []
+    equalities: dict[str, int] = {}
+
+    for builtin in constraint.builtins:
+        (normalized,) = builtin.normalized()
+        if normalized.comparator is Comparator.LT:
+            current = upper.get(normalized.variable)
+            if current is None or normalized.constant < current:
+                upper[normalized.variable] = normalized.constant
+        elif normalized.comparator is Comparator.GT:
+            current = lower.get(normalized.variable)
+            if current is None or normalized.constant > current:
+                lower[normalized.variable] = normalized.constant
+        else:
+            if normalized.comparator is Comparator.EQ:
+                existing = equalities.get(normalized.variable)
+                if existing is not None and existing != normalized.constant:
+                    return None          # x = a ∧ x = b with a != b
+                equalities[normalized.variable] = normalized.constant
+            passthrough.append(normalized)
+
+    # Dead ranges: over ℤ, x > a ∧ x < b is empty when b <= a + 1.
+    for variable in set(lower) & set(upper):
+        if upper[variable] <= lower[variable] + 1:
+            return None
+    # Equality outside a range is dead too.
+    for variable, value in equalities.items():
+        if variable in upper and value >= upper[variable]:
+            return None
+        if variable in lower and value <= lower[variable]:
+            return None
+
+    builtins: list[BuiltinAtom] = []
+    for variable, constant in sorted(lower.items()):
+        builtins.append(BuiltinAtom(variable, Comparator.GT, constant))
+    for variable, constant in sorted(upper.items()):
+        builtins.append(BuiltinAtom(variable, Comparator.LT, constant))
+    builtins.extend(passthrough)
+
+    return DenialConstraint(
+        constraint.relation_atoms,
+        builtins,
+        constraint.variable_comparisons,
+        name=constraint.name,
+    )
+
+
+def simplify_constraints(
+    constraints: Iterable[DenialConstraint],
+) -> tuple[DenialConstraint, ...]:
+    """Simplify a set: per-constraint simplification + duplicate removal.
+
+    Order is preserved; of two duplicates the first (and its name) wins.
+    """
+    result: list[DenialConstraint] = []
+    seen: set[DenialConstraint] = set()
+    for constraint in constraints:
+        simplified = simplify_constraint(constraint)
+        if simplified is None:
+            continue
+        if simplified in seen:     # DenialConstraint equality ignores names
+            continue
+        seen.add(simplified)
+        result.append(simplified)
+    return tuple(result)

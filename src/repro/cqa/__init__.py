@@ -1,0 +1,25 @@
+"""Consistent query answering over the repair set (the paper's context).
+
+The introduction positions repairs inside CQA [1, 3]: instead of fixing
+the database, answer queries with the tuples that are true in *every*
+repair ("consistent answers").  With the repair-enumeration machinery
+(Definition 2.2's ``Rep^At`` via :mod:`repro.repair.enumerate`, Section 5's
+``Rep#`` via :mod:`repro.cardinality`) this package evaluates conjunctive
+queries under both semantics on small databases:
+
+* **certain answers** - rows returned by the query in every optimal repair;
+* **possible answers** - rows returned in at least one optimal repair.
+"""
+
+from repro.cqa.query import ConjunctiveQuery, parse_query
+from repro.cqa.answers import QueryAnswers, consistent_answers
+from repro.cqa.aggregates import AggregateRange, aggregate_range
+
+__all__ = [
+    "ConjunctiveQuery",
+    "parse_query",
+    "QueryAnswers",
+    "consistent_answers",
+    "AggregateRange",
+    "aggregate_range",
+]

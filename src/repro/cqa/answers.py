@@ -1,0 +1,101 @@
+"""Certain and possible answers over the optimal repair set.
+
+``consistent_answers`` enumerates every optimal repair under the chosen
+semantics and intersects/unions the query results:
+
+* ``semantics="update"`` - attribute-update repairs (``Rep^At``,
+  Definition 2.2), enumerated through the MWSCP reduction;
+* ``semantics="delete"`` - minimum-cardinality deletion repairs
+  (``Rep#``, Section 5), via the δ transformation.
+
+Repair enumeration is exponential; like the exact solver this is meant
+for small databases (tests, examples, ground-truthing the approximation
+engine) - the practical cleaning path remains ``repair_database``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Literal, Mapping
+
+from repro.cardinality.engine import all_optimal_deletion_repairs
+from repro.constraints.denial import DenialConstraint
+from repro.cqa.query import ConjunctiveQuery
+from repro.exceptions import ReproError
+from repro.fixes.distance import CITY_DISTANCE, DistanceMetric
+from repro.model.instance import DatabaseInstance
+from repro.repair.enumerate import all_optimal_repairs
+
+Semantics = Literal["update", "delete"]
+
+
+@dataclass(frozen=True)
+class QueryAnswers:
+    """Answers of one query over the repair set."""
+
+    query: ConjunctiveQuery
+    semantics: str
+    n_repairs: int
+    certain: tuple[tuple[Any, ...], ...]
+    possible: tuple[tuple[Any, ...], ...]
+
+    @property
+    def disputed(self) -> tuple[tuple[Any, ...], ...]:
+        """Rows true in some but not all repairs."""
+        certain = set(self.certain)
+        return tuple(row for row in self.possible if row not in certain)
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"query    : {self.query}",
+            f"semantics: {self.semantics} ({self.n_repairs} optimal repairs)",
+            f"certain  : {sorted(map(str, self.certain))}",
+        ]
+        if self.disputed:
+            lines.append(f"disputed : {sorted(map(str, self.disputed))}")
+        return "\n".join(lines)
+
+
+def consistent_answers(
+    instance: DatabaseInstance,
+    constraints: Iterable[DenialConstraint],
+    query: ConjunctiveQuery,
+    semantics: Semantics = "update",
+    metric: str | DistanceMetric = CITY_DISTANCE,
+    table_weights: Mapping[str, float] | None = None,
+    max_elements: int = 64,
+) -> QueryAnswers:
+    """Evaluate a query under consistent-query-answering semantics.
+
+    Returns the certain answers (rows in *every* optimal repair) and the
+    possible answers (rows in *some* optimal repair).  On a consistent
+    database both coincide with the ordinary query result.
+    """
+    constraints = tuple(constraints)
+    if semantics == "update":
+        repairs = all_optimal_repairs(
+            instance, constraints, metric=metric, max_elements=max_elements
+        )
+    elif semantics == "delete":
+        repairs = all_optimal_deletion_repairs(
+            instance,
+            constraints,
+            table_weights=table_weights,
+            max_elements=max_elements,
+        )
+    else:
+        raise ReproError(
+            f"unknown CQA semantics {semantics!r}; use 'update' or 'delete'"
+        )
+
+    results = [query.evaluate(repair) for repair in repairs]
+    certain = frozenset.intersection(*results) if results else frozenset()
+    possible = frozenset.union(*results) if results else frozenset()
+    return QueryAnswers(
+        query=query,
+        semantics=semantics,
+        n_repairs=len(repairs),
+        certain=tuple(sorted(certain, key=str)),
+        possible=tuple(sorted(possible, key=str)),
+    )

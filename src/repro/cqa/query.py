@@ -1,0 +1,90 @@
+"""Conjunctive queries: model, parser, and evaluation.
+
+A conjunctive query has the Datalog-style form::
+
+    q(x, p) :- Buy(id, i, p), Client(id, a, c), a < 18, p > 25
+
+The body is syntactically a denial body (database atoms + built-ins), so
+parsing and evaluation reuse the constraint machinery: the body is wrapped
+in a :class:`DenialConstraint` and the join enumerator produces the
+satisfying assignments, from which head rows are projected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.parser import parse_denial
+from repro.exceptions import ConstraintParseError
+from repro.model.instance import DatabaseInstance
+from repro.violations.detector import _satisfying_assignments
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``head :- body``.
+
+    ``head`` lists the projected variables; ``body`` is the conjunction,
+    stored as a :class:`DenialConstraint` (only its body is meaningful).
+    """
+
+    head: tuple[str, ...]
+    body: DenialConstraint
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        bound = set(self.body.variables)
+        for variable in self.head:
+            if variable not in bound:
+                raise ConstraintParseError(
+                    f"head variable {variable!r} does not occur in the body"
+                )
+
+    def evaluate(self, instance: DatabaseInstance) -> frozenset[tuple[Any, ...]]:
+        """Set semantics: the distinct head rows over all body matches."""
+        rows: set[tuple[Any, ...]] = set()
+        for bindings in self.bindings(instance):
+            rows.add(tuple(bindings[v] for v in self.head))
+        return frozenset(rows)
+
+    def bindings(self, instance: DatabaseInstance) -> Iterator[dict[str, Any]]:
+        """Yield one variable-binding dict per body match."""
+        for assignment in _satisfying_assignments(instance, self.body):
+            bindings: dict[str, Any] = {}
+            for atom, tup in zip(self.body.relation_atoms, assignment):
+                for position, variable in enumerate(atom.variables):
+                    bindings[variable] = tup.values[position]
+            yield bindings
+
+    def __str__(self) -> str:
+        body = str(self.body)
+        # strip the NOT(...) wrapper for display.
+        inner = body[4:-1] if body.startswith("NOT(") else body
+        return f"{self.name}({', '.join(self.head)}) :- {inner}"
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse ``name(v1, ..., vk) :- atom, atom, ...``.
+
+    The head is optional: a bare body is treated as a boolean query
+    (empty head; it answers ``()`` when the body has a match).
+    """
+    head_text, separator, body_text = text.partition(":-")
+    if not separator:
+        body = parse_denial(text.strip())
+        return ConjunctiveQuery(head=(), body=body)
+
+    head_text = head_text.strip()
+    if not head_text.endswith(")") or "(" not in head_text:
+        raise ConstraintParseError(
+            f"malformed query head {head_text!r}; expected name(v1, ...)"
+        )
+    name, _, variables_text = head_text[:-1].partition("(")
+    name = name.strip()
+    variables = tuple(
+        v.strip() for v in variables_text.split(",") if v.strip()
+    )
+    body = parse_denial(body_text.strip())
+    return ConjunctiveQuery(head=variables, body=body, name=name or "q")

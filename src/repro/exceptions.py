@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` database-repair library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses partition failures by
+the subsystem that detected them: schema definition, constraint definition,
+repair computation, configuration parsing, and storage backends.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition (bad attribute, key, or weight)."""
+
+
+class InstanceError(ReproError):
+    """Invalid database instance (arity mismatch, key violation, ...)."""
+
+
+class KeyViolationError(InstanceError):
+    """A primary-key constraint of the input instance is violated.
+
+    The paper assumes ``D |= K`` for the initial instance; loading data that
+    breaks a key is a hard error, not an inconsistency to be repaired.
+    """
+
+
+class ConstraintError(ReproError):
+    """Invalid denial constraint (unknown relation/attribute, bad atom)."""
+
+
+class ConstraintParseError(ConstraintError):
+    """The textual denial-constraint DSL could not be parsed."""
+
+
+class LocalityError(ConstraintError):
+    """A constraint set is not *local* (Section 2 conditions (a)-(c)).
+
+    Local fixes are only guaranteed to exist - and to not cascade into new
+    violations - for local constraint sets, so the repair engine refuses to
+    run the attribute-update algorithms on non-local input.
+    """
+
+
+class RepairError(ReproError):
+    """The repair computation itself failed."""
+
+
+class UnrepairableError(RepairError):
+    """No repair candidate exists for the given instance and constraints."""
+
+
+class SetCoverError(ReproError):
+    """Malformed set-cover instance or solver failure."""
+
+
+class UncoverableError(SetCoverError):
+    """Some universe element belongs to no set, so no cover exists."""
+
+
+class ConfigError(ReproError):
+    """Invalid repair-program configuration (Figure 1 configuration file)."""
+
+
+class BackendError(ReproError):
+    """Storage backend failure (connection, SQL, export)."""

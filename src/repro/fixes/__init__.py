@@ -1,0 +1,31 @@
+"""Distance functions and mono-local fixes (Definitions 2.1, 2.6, 2.8)."""
+
+from repro.fixes.distance import (
+    CITY_DISTANCE,
+    EUCLIDEAN_DISTANCE,
+    ZERO_ONE_DISTANCE,
+    DistanceMetric,
+    database_delta,
+    get_metric,
+    tuple_delta,
+)
+from repro.fixes.mlf import (
+    FixCandidate,
+    mono_local_fix,
+    mono_local_fixes_for_tuple,
+    solved_violations,
+)
+
+__all__ = [
+    "CITY_DISTANCE",
+    "EUCLIDEAN_DISTANCE",
+    "ZERO_ONE_DISTANCE",
+    "DistanceMetric",
+    "database_delta",
+    "get_metric",
+    "tuple_delta",
+    "FixCandidate",
+    "mono_local_fix",
+    "mono_local_fixes_for_tuple",
+    "solved_violations",
+]

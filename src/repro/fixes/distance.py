@@ -1,0 +1,125 @@
+"""The Δ-distance between instances (Definition 2.1).
+
+The distance between two instances with the same key sets is::
+
+    Δ(D, D') = Σ_R Σ_{k̄ ∈ val(K_R)} Σ_{A ∈ F ∩ A_R}
+               α_A · Dist(π_A(t̄(k̄,R,D)), π_A(t̄(k̄,R,D')))
+
+where ``Dist`` is any function that increases monotonically in the absolute
+difference.  The paper names the city distance ``L₁`` (absolute difference)
+and the euclidean distance ``L₂`` (squared difference); we also provide a
+0/1 distance, under which Δ counts changed cells.  All repair results in
+the paper hold for any such ``Dist``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.exceptions import InstanceError, ReproError
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import Tuple
+
+
+@dataclass(frozen=True)
+class DistanceMetric:
+    """A per-cell distance ``Dist(old, new)``.
+
+    ``point`` must be symmetric, zero iff ``old == new``, and monotonically
+    increasing in ``|old - new|`` (the condition Definition 2.1 imposes so
+    mono-local fixes are unique and minimal).
+    """
+
+    name: str
+    point: Callable[[int, int], float]
+
+    def __call__(self, old: int, new: int) -> float:
+        return self.point(old, new)
+
+    def __repr__(self) -> str:
+        return f"DistanceMetric({self.name})"
+
+
+CITY_DISTANCE = DistanceMetric("L1", lambda a, b: float(abs(a - b)))
+"""The city (L₁) distance: sum of absolute differences."""
+
+EUCLIDEAN_DISTANCE = DistanceMetric("L2", lambda a, b: float((a - b) ** 2))
+"""The euclidean (L₂) distance as used in the paper: sum of squared differences."""
+
+ZERO_ONE_DISTANCE = DistanceMetric("L0", lambda a, b: 0.0 if a == b else 1.0)
+"""A 0/1 distance: Δ counts updated cells.  Used by the cardinality reduction."""
+
+_METRICS: Mapping[str, DistanceMetric] = {
+    "l1": CITY_DISTANCE,
+    "city": CITY_DISTANCE,
+    "l2": EUCLIDEAN_DISTANCE,
+    "euclidean": EUCLIDEAN_DISTANCE,
+    "l0": ZERO_ONE_DISTANCE,
+    "zero-one": ZERO_ONE_DISTANCE,
+}
+
+
+def get_metric(name: str | DistanceMetric) -> DistanceMetric:
+    """Resolve a metric by name (``l1``/``city``, ``l2``/``euclidean``, ``l0``)."""
+    if isinstance(name, DistanceMetric):
+        return name
+    try:
+        return _METRICS[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown distance metric {name!r}; choose from {sorted(_METRICS)}"
+        ) from None
+
+
+def tuple_delta(
+    old: Tuple, new: Tuple, metric: DistanceMetric = CITY_DISTANCE
+) -> float:
+    """``Δ({t}, {t'})``: weighted distance between two versions of a tuple.
+
+    Both tuples must belong to the same relation and share their key; the
+    sum ranges over the relation's flexible attributes, each weighted by its
+    ``α_A``.
+    """
+    if old.relation.name != new.relation.name:
+        raise InstanceError(
+            f"cannot compare tuples of {old.relation.name!r} and "
+            f"{new.relation.name!r}"
+        )
+    if old.key != new.key:
+        raise InstanceError(
+            f"tuples must share their key to be compared: {old.key!r} vs {new.key!r}"
+        )
+    total = 0.0
+    relation = old.relation
+    for attribute in relation.flexible_attributes:
+        position = relation.position(attribute.name)
+        total += attribute.weight * metric(
+            old.values[position], new.values[position]
+        )
+    return total
+
+
+def database_delta(
+    original: DatabaseInstance,
+    repaired: DatabaseInstance,
+    metric: DistanceMetric = CITY_DISTANCE,
+) -> float:
+    """``Δ(D, D')`` over all relations and keys (Definition 2.1).
+
+    Requires both instances to have identical key sets per relation -
+    repairs by attribute update never add or remove keys.
+    """
+    if not original.same_key_sets(repaired):
+        raise InstanceError(
+            "Δ-distance is only defined between instances with the same "
+            "key sets per relation"
+        )
+    total = 0.0
+    for relation in original.schema:
+        if not relation.flexible_attributes:
+            continue
+        for old in original.tuples(relation.name):
+            new = repaired.get(relation.name, old.key)
+            total += tuple_delta(old, new, metric)
+    return total

@@ -1,0 +1,203 @@
+"""Mono-local fixes ``MLF(t, ic, A)`` (Definitions 2.6 and 2.8).
+
+A *local fix* of a tuple keeps its hard attributes, solves at least one
+violation set, and is distance-minimal among fixes solving the same sets.
+A *mono-local* fix changes exactly one attribute; Proposition 2.7 states it
+is unique per ``(t, ic, A)``, and Definition 2.8 constructs it:
+
+* normalize ``≤``/``≥`` to strict comparisons over ℤ (footnote 2);
+* if ``ic`` contains ``A < c₁, …, A < c_n``, replace ``A`` with
+  ``min{c₁, …, c_n}`` (raise the value to the smallest upper bound - the
+  tightest atom is falsified, hence the whole conjunction);
+* if ``ic`` contains ``A > c₁, …, A > c_n``, replace with ``max{cᵢ}``.
+
+Locality condition (c) guarantees the two cases never mix for one flexible
+attribute, so every attribute has one global fix direction and fixes
+compose monotonically (moving further never re-satisfies a falsified atom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.atoms import Comparator
+from repro.constraints.denial import DenialConstraint
+from repro.exceptions import LocalityError
+from repro.model.schema import Schema
+from repro.model.tuples import Tuple, TupleRef
+from repro.violations.detector import ViolationSet
+
+
+def mono_local_fix(
+    tup: Tuple,
+    constraint: DenialConstraint,
+    attribute_name: str,
+    schema: Schema,
+) -> Tuple | None:
+    """Compute ``MLF(t, ic, A)`` or ``None`` when no fix on ``A`` exists.
+
+    Returns ``None`` when the constraint has no strict comparison over the
+    attribute, or when the computed replacement would not move the value in
+    the attribute's fix direction (which happens only when ``t`` does not
+    actually violate the comparisons - such a candidate solves nothing).
+    Raises :class:`LocalityError` if the attribute occurs in both ``<`` and
+    ``>`` comparisons within ``ic`` (non-local input).
+    """
+    relation = tup.relation
+    attribute = relation.attribute(attribute_name)
+    if not attribute.is_flexible:
+        return None
+    comparisons = constraint.comparisons_on(schema, relation.name, attribute_name)
+    lt_bounds = [
+        c.constant for c in comparisons if c.comparator is Comparator.LT
+    ]
+    gt_bounds = [
+        c.constant for c in comparisons if c.comparator is Comparator.GT
+    ]
+    if lt_bounds and gt_bounds:
+        raise LocalityError(
+            f"{constraint.label}: attribute {relation.name}.{attribute_name} "
+            "occurs in both '<' and '>' comparisons; the constraint is not local"
+        )
+    old_value = tup[attribute_name]
+    if lt_bounds:
+        new_value = min(lt_bounds)          # Definition 2.8 case (a)
+        if new_value <= old_value:
+            return None
+    elif gt_bounds:
+        new_value = max(gt_bounds)          # Definition 2.8 case (b)
+        if new_value >= old_value:
+            return None
+    else:
+        return None
+    return tup.replace({attribute_name: new_value})
+
+
+def mono_local_fixes_for_tuple(
+    tup: Tuple,
+    constraint: DenialConstraint,
+    schema: Schema,
+) -> dict[str, Tuple]:
+    """All mono-local fixes of ``t`` wrt one constraint, keyed by attribute.
+
+    Iterates the flexible attributes of ``t``'s relation that occur in
+    ``A_B(ic)`` - exactly the triple loop of Algorithm 3.
+    """
+    fixes: dict[str, Tuple] = {}
+    builtin_attributes = constraint.attributes_in_builtins(schema)
+    for attribute in tup.relation.flexible_attributes:
+        if (tup.relation.name, attribute.name) not in builtin_attributes:
+            continue
+        fixed = mono_local_fix(tup, constraint, attribute.name, schema)
+        if fixed is not None:
+            fixes[attribute.name] = fixed
+    return fixes
+
+
+def solved_violations(
+    old: Tuple,
+    new: Tuple,
+    violations: Sequence[ViolationSet],
+    candidate_indices: Iterable[int] | None = None,
+) -> tuple[int, ...]:
+    """Indices of violation sets solved by replacing ``old`` with ``new``.
+
+    This computes ``S(t, t′)`` of Definition 2.6(b): a violation set
+    ``(I, ic)`` with ``t ∈ I`` is solved when ``(I \\ {t}) ∪ {t'} ⊨ ic``.
+    The check is cross-constraint (Algorithm 4): a fix generated for one
+    constraint may also solve violation sets of another (Example 3.3).
+
+    ``candidate_indices`` restricts the scan to the given positions - the
+    repair builder passes the precomputed ``I(D, IC, t)`` index so the
+    overall construction stays linear when the degree of inconsistency is
+    bounded.
+    """
+    if candidate_indices is None:
+        candidate_indices = range(len(violations))
+    solved: list[int] = []
+    for index in candidate_indices:
+        violation = violations[index]
+        if old not in violation:
+            continue
+        substituted = [t for t in violation.tuples if t != old]
+        substituted.append(new)
+        if not violation.constraint.violated_by(substituted):
+            solved.append(index)
+    return tuple(solved)
+
+
+@dataclass(frozen=True)
+class FixCandidate:
+    """A weighted mono-local fix - one *set* of the MWSCP (Definition 3.1(b)).
+
+    Attributes
+    ----------
+    ref:
+        Identity of the tuple being fixed.
+    old, new:
+        The original tuple and its mono-local fix ``t′``.
+    attribute:
+        The single attribute the fix updates.
+    new_value:
+        The replacement value.
+    weight:
+        ``w(S(t,t′)) = Δ({t}, {t′})`` under the chosen metric
+        (Definition 3.1(c)).
+    solves:
+        Indices (into the violation-set universe) of the elements this fix
+        covers - ``S(t, t′)``.
+    sources:
+        Labels of the constraints whose Definition-2.8 construction produced
+        this fix (several constraints can induce the same fix, e.g. ``t₁¹``
+        in Example 2.10).
+    """
+
+    ref: TupleRef
+    old: Tuple
+    new: Tuple
+    attribute: str
+    new_value: int
+    weight: float
+    solves: tuple[int, ...]
+    sources: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One-line human-readable description of the update."""
+        return (
+            f"{self.ref.relation_name}{list(self.ref.key_values)}: "
+            f"{self.attribute} {self.old[self.attribute]} -> {self.new_value} "
+            f"(weight {self.weight:g}, solves {len(self.solves)})"
+        )
+
+
+def dedupe_candidates(
+    candidates: Iterable[FixCandidate],
+) -> list[FixCandidate]:
+    """Merge candidates describing the same update of the same tuple.
+
+    Two constraints can produce the identical mono-local fix; the MWSCP
+    must contain it once, with the union of solved sets and merged sources
+    (Example 3.3 lists ``S(t₁, t₁¹)`` once even though both ic₁ and ic₂
+    generate it).
+    """
+    merged: dict[tuple[TupleRef, str, int], FixCandidate] = {}
+    for candidate in candidates:
+        key = (candidate.ref, candidate.attribute, candidate.new_value)
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = candidate
+        else:
+            merged[key] = FixCandidate(
+                ref=existing.ref,
+                old=existing.old,
+                new=existing.new,
+                attribute=existing.attribute,
+                new_value=existing.new_value,
+                weight=existing.weight,
+                solves=tuple(sorted(set(existing.solves) | set(candidate.solves))),
+                sources=tuple(
+                    dict.fromkeys(existing.sources + candidate.sources)
+                ),
+            )
+    return list(merged.values())

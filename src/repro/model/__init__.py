@@ -1,0 +1,21 @@
+"""Relational data model: schemas, tuples, and database instances.
+
+This package implements the relational substrate of Section 2 of the paper:
+a schema ``(U, R ∪ B, A)`` with per-relation primary keys ``K_R``, a set
+``F`` of *flexible* (updatable, integer-valued) attributes disjoint from the
+keys, and per-attribute repair weights ``α_A``.
+"""
+
+from repro.model.schema import Attribute, AttributeRole, Relation, Schema
+from repro.model.tuples import Tuple, TupleRef
+from repro.model.instance import DatabaseInstance
+
+__all__ = [
+    "Attribute",
+    "AttributeRole",
+    "Relation",
+    "Schema",
+    "Tuple",
+    "TupleRef",
+    "DatabaseInstance",
+]

@@ -1,0 +1,196 @@
+"""Database instances: key-indexed collections of tuples per relation.
+
+A :class:`DatabaseInstance` is the paper's ``D``: a finite collection of
+ground atoms over a :class:`~repro.model.schema.Schema`.  The instance
+enforces the standing assumption ``D |= K`` (primary keys hold) at insert
+time - key violations in the *input* are schema errors, not inconsistencies
+handled by the repair algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import InstanceError, KeyViolationError
+from repro.model.schema import Relation, Schema
+from repro.model.tuples import Tuple, TupleRef
+
+
+class DatabaseInstance:
+    """A finite database instance over a schema.
+
+    Tuples are indexed by their primary key per relation, giving O(1)
+    lookup of ``t̄(k̄, R, D)`` - the operation the repair construction of
+    Definition 3.2 performs for every fix.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._tables: dict[str, dict[tuple[Any, ...], Tuple]] = {
+            r.name: {} for r in schema
+        }
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Mapping[str, Iterable[Iterable[Any]]],
+    ) -> "DatabaseInstance":
+        """Build an instance from ``{relation_name: [row, ...]}`` mappings."""
+        instance = cls(schema)
+        for relation_name, relation_rows in rows.items():
+            relation = schema.relation(relation_name)
+            for row in relation_rows:
+                instance.insert(Tuple(relation, tuple(row)))
+        return instance
+
+    def insert(self, tup: Tuple) -> None:
+        """Insert a tuple; raises :class:`KeyViolationError` on duplicate key."""
+        table = self._table(tup.relation.name)
+        key = tup.key
+        if key in table:
+            raise KeyViolationError(
+                f"duplicate key {key!r} in relation {tup.relation.name!r}"
+            )
+        table[key] = tup
+
+    def insert_row(self, relation_name: str, row: Iterable[Any]) -> Tuple:
+        """Convenience: build and insert a tuple from raw values."""
+        tup = Tuple(self._schema.relation(relation_name), tuple(row))
+        self.insert(tup)
+        return tup
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this instance conforms to."""
+        return self._schema
+
+    def _table(self, relation_name: str) -> dict[tuple[Any, ...], Tuple]:
+        try:
+            return self._tables[relation_name]
+        except KeyError:
+            raise InstanceError(
+                f"instance has no relation {relation_name!r}"
+            ) from None
+
+    def tuples(self, relation_name: str) -> tuple[Tuple, ...]:
+        """All tuples of one relation (insertion order)."""
+        return tuple(self._table(relation_name).values())
+
+    def all_tuples(self) -> Iterator[Tuple]:
+        """Iterate over every tuple of every relation."""
+        for table in self._tables.values():
+            yield from table.values()
+
+    def get(self, relation_name: str, key: tuple[Any, ...]) -> Tuple:
+        """``t̄(k̄, R, D)``: the unique tuple of ``R`` with key ``k̄``."""
+        try:
+            return self._table(relation_name)[tuple(key)]
+        except KeyError:
+            raise InstanceError(
+                f"no tuple with key {key!r} in relation {relation_name!r}"
+            ) from None
+
+    def resolve(self, ref: TupleRef) -> Tuple:
+        """Resolve a :class:`TupleRef` in this instance."""
+        return self.get(ref.relation_name, ref.key_values)
+
+    def __contains__(self, tup: Tuple) -> bool:
+        table = self._tables.get(tup.relation.name)
+        if table is None:
+            return False
+        stored = table.get(tup.key)
+        return stored == tup
+
+    def contains_key(self, relation_name: str, key: tuple[Any, ...]) -> bool:
+        """True when the relation holds a tuple with the given key."""
+        return tuple(key) in self._table(relation_name)
+
+    def count(self, relation_name: str | None = None) -> int:
+        """Number of tuples in one relation, or in the whole instance."""
+        if relation_name is not None:
+            return len(self._table(relation_name))
+        return sum(len(t) for t in self._tables.values())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def key_values(self, relation_name: str) -> set[tuple[Any, ...]]:
+        """The set ``val(K_R)`` of key-value tuples of a relation."""
+        return set(self._table(relation_name))
+
+    # -- mutation ------------------------------------------------------------
+
+    def replace_tuple(self, new_tuple: Tuple) -> Tuple:
+        """Replace the tuple sharing ``new_tuple``'s key; return the old one.
+
+        This is the primitive a repair applies: same relation, same key,
+        updated flexible attributes.
+        """
+        table = self._table(new_tuple.relation.name)
+        key = new_tuple.key
+        if key not in table:
+            raise InstanceError(
+                f"cannot replace: no tuple with key {key!r} in "
+                f"{new_tuple.relation.name!r}"
+            )
+        old = table[key]
+        table[key] = new_tuple
+        return old
+
+    def delete(self, relation_name: str, key: tuple[Any, ...]) -> Tuple:
+        """Remove and return the tuple with the given key."""
+        table = self._table(relation_name)
+        try:
+            return table.pop(tuple(key))
+        except KeyError:
+            raise InstanceError(
+                f"cannot delete: no tuple with key {key!r} in {relation_name!r}"
+            ) from None
+
+    def copy(self) -> "DatabaseInstance":
+        """Shallow copy (tuples are immutable, so sharing them is safe)."""
+        clone = DatabaseInstance(self._schema)
+        for name, table in self._tables.items():
+            clone._tables[name] = dict(table)
+        return clone
+
+    # -- comparison ----------------------------------------------------------
+
+    def same_key_sets(self, other: "DatabaseInstance") -> bool:
+        """True when both instances have identical ``val(K_R)`` per relation.
+
+        This is the precondition for the Δ-distance of Definition 2.1 to be
+        defined between the two instances.
+        """
+        if set(self._tables) != set(other._tables):
+            return False
+        return all(
+            set(self._tables[name]) == set(other._tables[name])
+            for name in self._tables
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self._schema == other._schema and self._tables == other._tables
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}:{len(t)}" for n, t in self._tables.items())
+        return f"DatabaseInstance({sizes})"
+
+    # -- display -------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable dump used by the text-export mode and examples."""
+        lines: list[str] = []
+        for relation in self._schema:
+            table = self._tables[relation.name]
+            lines.append(f"-- {relation.name}({', '.join(relation.attribute_names)})")
+            for tup in table.values():
+                lines.append("   " + ", ".join(str(v) for v in tup.values))
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Attribute-update repairs: the Definition 3.1 reduction and the engine.
+
+This package ties the substrates together: it maps a database plus a set of
+local denial constraints to an MWSCP instance (:mod:`repro.repair.builder`),
+turns an (approximate) cover back into a repaired database
+(:mod:`repro.repair.apply`), and exposes the one-call facade
+:func:`repro.repair.engine.repair_database`.
+"""
+
+from repro.repair.builder import RepairProblem, build_repair_problem
+from repro.repair.apply import apply_cover
+from repro.repair.engine import repair_database
+from repro.repair.incremental import IncrementalRepairer
+from repro.repair.result import CellChange, RepairResult
+
+__all__ = [
+    "RepairProblem",
+    "build_repair_problem",
+    "apply_cover",
+    "repair_database",
+    "IncrementalRepairer",
+    "CellChange",
+    "RepairResult",
+]

@@ -1,0 +1,90 @@
+"""Turn a set cover into a repaired database (Definition 3.2).
+
+Given a cover ``C`` of ``(U, S, w)^{(D,IC)}``:
+
+* ``C*`` merges the fixes per tuple: when a tuple has several selected
+  mono-local fixes on *different* attributes they combine into a single
+  local fix ``t*`` applying all the updates (Definition 3.2(a));
+* when a non-optimal cover holds two fixes for the same tuple *and* the
+  same attribute (possible for fixes induced by different constraints),
+  the higher-weight fix subsumes the other - locality gives every flexible
+  attribute one fix direction, so the farther value satisfies everything
+  the nearer one did (Section 3, remark after Algorithm 1);
+* ``D(C)`` replaces each affected tuple by its combined fix
+  (Definition 3.2(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fixes.distance import tuple_delta
+from repro.fixes.mlf import FixCandidate
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import TupleRef
+from repro.repair.builder import RepairProblem
+from repro.repair.result import CellChange
+from repro.setcover.result import Cover
+
+
+def merge_cover_fixes(
+    problem: RepairProblem, selected: Iterable[int]
+) -> dict[TupleRef, dict[str, CellChange]]:
+    """Compute ``C*``: per-tuple, per-attribute winning updates.
+
+    Returns ``{tuple ref: {attribute: change}}`` after subsumption.
+    """
+    merged: dict[TupleRef, dict[str, CellChange]] = {}
+    for set_id in selected:
+        candidate: FixCandidate = problem.candidate(set_id)
+        per_attribute = merged.setdefault(candidate.ref, {})
+        change = CellChange(
+            ref=candidate.ref,
+            attribute=candidate.attribute,
+            old_value=candidate.old[candidate.attribute],
+            new_value=candidate.new_value,
+            weight=candidate.weight,
+        )
+        incumbent = per_attribute.get(candidate.attribute)
+        if incumbent is None or _subsumes(change, incumbent):
+            per_attribute[candidate.attribute] = change
+    return merged
+
+
+def _subsumes(challenger: CellChange, incumbent: CellChange) -> bool:
+    """True when ``challenger`` replaces ``incumbent`` (same tuple+attribute).
+
+    The farther move (higher weight) subsumes the nearer one; ties break on
+    the new value to stay deterministic.
+    """
+    if challenger.weight != incumbent.weight:
+        return challenger.weight > incumbent.weight
+    return challenger.new_value > incumbent.new_value
+
+
+def apply_cover(
+    problem: RepairProblem, cover: Cover
+) -> tuple[DatabaseInstance, tuple[CellChange, ...], float]:
+    """Build ``D(C)`` from a cover.
+
+    Returns ``(repaired instance, applied changes, Δ(D, D(C)))``.  The
+    distance is recomputed from the actually-applied combined fixes, so it
+    accounts for subsumption (it can be below the cover weight).
+    """
+    merged = merge_cover_fixes(problem, cover.selected)
+    repaired = problem.instance.copy()
+    changes: list[CellChange] = []
+    total_distance = 0.0
+    for ref in sorted(merged):
+        per_attribute = merged[ref]
+        old = repaired.resolve(ref)
+        updates = {
+            change.attribute: change.new_value
+            for change in per_attribute.values()
+        }
+        new = old.replace(updates)
+        repaired.replace_tuple(new)
+        total_distance += tuple_delta(old, new, problem.metric)
+        for attribute in sorted(per_attribute):
+            changes.append(per_attribute[attribute])
+    return repaired, tuple(changes), total_distance

@@ -1,0 +1,185 @@
+"""Build the MWSCP instance ``(U, S, w)^{(D, IC)}`` (Definition 3.1).
+
+* ``U`` is ``I(D, IC)``: every (violation set, constraint) pair;
+* ``S`` holds one set per mono-local fix ``t′`` of an inconsistent tuple
+  ``t``, containing the elements ``S(t, t′)`` it solves;
+* ``w(S(t,t′)) = Δ({t}, {t′})``.
+
+The construction follows Algorithms 2-4: enumerate violation sets
+(Algorithm 2), generate the mono-local fixes per (constraint, relation,
+flexible attribute) triple (Algorithm 3), and link fixes to the violation
+sets they solve across *all* constraints (Algorithm 4) using a per-tuple
+index of ``I(D, IC, t)`` so the work stays proportional to the degree of
+inconsistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.locality import check_local_set
+from repro.exceptions import UnrepairableError
+from repro.fixes.distance import CITY_DISTANCE, DistanceMetric, get_metric, tuple_delta
+from repro.fixes.mlf import (
+    FixCandidate,
+    mono_local_fixes_for_tuple,
+    solved_violations,
+)
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import Tuple
+from repro.setcover.instance import SetCoverInstance, WeightedSet
+from repro.violations.detector import ViolationSet, find_all_violations
+
+
+@dataclass(frozen=True)
+class RepairProblem:
+    """A fully-built repair problem: database, universe, and MWSCP instance.
+
+    ``setcover.sets[i].payload`` is the :class:`FixCandidate` realizing set
+    ``i``; ``violations[j]`` is universe element ``j``.
+    """
+
+    instance: DatabaseInstance
+    constraints: tuple[DenialConstraint, ...]
+    metric: DistanceMetric
+    violations: tuple[ViolationSet, ...]
+    setcover: SetCoverInstance
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when the database has no violations (empty universe)."""
+        return not self.violations
+
+    def candidate(self, set_id: int) -> FixCandidate:
+        """The fix candidate realizing one set of the MWSCP instance."""
+        return self.setcover.sets[set_id].payload
+
+
+def _raw_candidates(
+    violations: Sequence[ViolationSet],
+    schema,
+) -> dict[tuple, tuple[Tuple, Tuple, str, list[str]]]:
+    """Generate mono-local fixes for every tuple of every violation set.
+
+    Returns a map keyed by ``(ref, attribute, new_value)`` so duplicate
+    fixes produced by different constraints merge (Example 2.10: ic₁ and
+    ic₂ both yield ``t₁¹``); the value keeps the merged source labels.
+    """
+    raw: dict[tuple, tuple[Tuple, Tuple, str, list[str]]] = {}
+    seen_per_constraint: set[tuple] = set()
+    for violation in violations:
+        constraint = violation.constraint
+        for tup in violation.tuples:
+            # Each (tuple, constraint) pair is expanded once even when the
+            # tuple occurs in many violation sets of the same constraint.
+            pair_key = (tup.ref, id(constraint))
+            if pair_key in seen_per_constraint:
+                continue
+            seen_per_constraint.add(pair_key)
+            for attribute, fixed in mono_local_fixes_for_tuple(
+                tup, constraint, schema
+            ).items():
+                key = (tup.ref, attribute, fixed[attribute])
+                existing = raw.get(key)
+                if existing is None:
+                    raw[key] = (tup, fixed, attribute, [constraint.label])
+                elif constraint.label not in existing[3]:
+                    existing[3].append(constraint.label)
+    return raw
+
+
+def build_repair_problem(
+    instance: DatabaseInstance,
+    constraints: Iterable[DenialConstraint],
+    metric: str | DistanceMetric = CITY_DISTANCE,
+    check_locality: bool = True,
+    violations: Sequence[ViolationSet] | None = None,
+) -> RepairProblem:
+    """Construct ``(U, S, w)^{(D, IC)}`` for a database and local denials.
+
+    Parameters
+    ----------
+    instance:
+        The (possibly inconsistent) database ``D``.
+    constraints:
+        The flexible ICs.  Must form a *local* set unless
+        ``check_locality=False`` (the cardinality transformation produces
+        sets that are local by construction and skips the check).
+    metric:
+        Cell distance for fix weights (default city distance ``L₁``).
+    violations:
+        Precomputed ``I(D, IC)`` to reuse, e.g. from a profiling pass.
+
+    Raises
+    ------
+    LocalityError
+        When the constraint set is not local.
+    UnrepairableError
+        When some violation set admits no mono-local fix (cannot happen
+        for local sets, but malformed input is reported, not mis-covered).
+    """
+    constraints = tuple(constraints)
+    metric = get_metric(metric)
+    if check_locality:
+        check_local_set(constraints, instance.schema)
+
+    if violations is None:
+        violations = find_all_violations(instance, constraints)
+    violations = tuple(violations)
+
+    # Per-tuple index of I(D, IC, t): violation positions by tuple.
+    by_tuple: dict[Tuple, list[int]] = {}
+    for index, violation in enumerate(violations):
+        for tup in violation.tuples:
+            by_tuple.setdefault(tup, []).append(index)
+
+    raw = _raw_candidates(violations, instance.schema)
+
+    sets: list[WeightedSet] = []
+    for key in sorted(raw, key=lambda k: (k[0], k[1], k[2])):
+        old, new, attribute, sources = raw[key]
+        solves = solved_violations(
+            old, new, violations, candidate_indices=by_tuple.get(old, ())
+        )
+        if not solves:
+            # A fix that solves nothing is not a local fix (Definition
+            # 2.6(b) requires S(t,t') to be non-empty); drop it.
+            continue
+        weight = tuple_delta(old, new, metric)
+        candidate = FixCandidate(
+            ref=old.ref,
+            old=old,
+            new=new,
+            attribute=attribute,
+            new_value=new[attribute],
+            weight=weight,
+            solves=solves,
+            sources=tuple(sources),
+        )
+        sets.append(
+            WeightedSet(len(sets), weight, solves, candidate)
+        )
+
+    problem = RepairProblem(
+        instance=instance,
+        constraints=constraints,
+        metric=metric,
+        violations=violations,
+        setcover=SetCoverInstance(len(violations), sets),
+    )
+    if violations:
+        _check_coverage(problem)
+    return problem
+
+
+def _check_coverage(problem: RepairProblem) -> None:
+    """Every violation set must be solvable by at least one candidate fix."""
+    for element, adjacent in enumerate(problem.setcover.element_to_sets):
+        if not adjacent:
+            violation = problem.violations[element]
+            raise UnrepairableError(
+                f"violation set {violation!r} admits no mono-local fix; "
+                "the constraint set is not repairable by attribute updates"
+            )

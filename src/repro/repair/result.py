@@ -1,0 +1,95 @@
+"""Result types for attribute-update repairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import TupleRef
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One attribute update applied by a repair."""
+
+    ref: TupleRef
+    attribute: str
+    old_value: int
+    new_value: int
+    weight: float
+
+    def __str__(self) -> str:
+        keys = ", ".join(str(v) for v in self.ref.key_values)
+        return (
+            f"{self.ref.relation_name}[{keys}].{self.attribute}: "
+            f"{self.old_value} -> {self.new_value}"
+        )
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of a repair computation.
+
+    Attributes
+    ----------
+    repaired:
+        The repaired database instance ``D(C)`` (Definition 3.2).
+    algorithm:
+        Name of the set-cover solver used.
+    cover_weight:
+        Weight of the approximate cover - the solver's objective value.
+    distance:
+        The actual ``Δ(D, D(C))``; at most ``cover_weight`` (merging fixes
+        of one tuple/attribute via subsumption can only lose weight).
+    changes:
+        Cell-level updates, deterministic order.
+    violations_before:
+        ``|I(D, IC)|`` of the input.
+    verified:
+        True when the engine re-checked ``D(C) |= IC``.
+    metric:
+        Name of the distance metric used.
+    solver_iterations / solver_stats:
+        Bookkeeping from the set-cover solver.
+    elapsed_seconds:
+        Wall-clock split per phase: ``detect``, ``build``, ``solve``,
+        ``apply`` (the paper's Figure 3 reports the ``solve`` component).
+    """
+
+    repaired: DatabaseInstance
+    algorithm: str
+    cover_weight: float
+    distance: float
+    changes: tuple[CellChange, ...]
+    violations_before: int
+    verified: bool
+    metric: str
+    solver_iterations: int = 0
+    solver_stats: Mapping[str, Any] = field(default_factory=dict)
+    elapsed_seconds: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def tuples_changed(self) -> int:
+        """Number of distinct tuples the repair updated."""
+        return len({change.ref for change in self.changes})
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"algorithm        : {self.algorithm}",
+            f"metric           : {self.metric}",
+            f"violations before: {self.violations_before}",
+            f"cover weight     : {self.cover_weight:g}",
+            f"distance Δ(D,D') : {self.distance:g}",
+            f"cells changed    : {len(self.changes)}",
+            f"tuples changed   : {self.tuples_changed}",
+            f"verified D'|=IC  : {self.verified}",
+        ]
+        if self.elapsed_seconds:
+            timing = ", ".join(
+                f"{phase}={seconds * 1000:.1f}ms"
+                for phase, seconds in self.elapsed_seconds.items()
+            )
+            lines.append(f"timing           : {timing}")
+        return "\n".join(lines)

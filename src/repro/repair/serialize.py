@@ -1,0 +1,97 @@
+"""JSON serialization of repair outcomes (audit trails).
+
+Production cleaning pipelines keep an audit record of every automated
+change.  :func:`result_to_dict` / :func:`result_to_json` render a
+:class:`RepairResult` as plain data (no instance payload - the changes
+*are* the record); :func:`changes_from_dict` parses the change list back,
+e.g. to re-apply an audited repair to another copy of the data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import TupleRef
+from repro.repair.result import CellChange, RepairResult
+
+
+def change_to_dict(change: CellChange) -> dict[str, Any]:
+    """One change as plain data."""
+    return {
+        "relation": change.ref.relation_name,
+        "key": list(change.ref.key_values),
+        "attribute": change.attribute,
+        "old_value": change.old_value,
+        "new_value": change.new_value,
+        "weight": change.weight,
+    }
+
+
+def result_to_dict(result: RepairResult) -> dict[str, Any]:
+    """A JSON-ready summary of a repair (changes, stats, no data payload)."""
+    return {
+        "algorithm": result.algorithm,
+        "metric": result.metric,
+        "violations_before": result.violations_before,
+        "cover_weight": result.cover_weight,
+        "distance": result.distance,
+        "verified": result.verified,
+        "tuples_changed": result.tuples_changed,
+        "solver_iterations": result.solver_iterations,
+        "solver_stats": dict(result.solver_stats),
+        "elapsed_seconds": dict(result.elapsed_seconds),
+        "changes": [change_to_dict(c) for c in result.changes],
+    }
+
+
+def result_to_json(result: RepairResult, indent: int | None = 2) -> str:
+    """Serialize a repair result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def changes_from_dict(data: Mapping[str, Any]) -> tuple[CellChange, ...]:
+    """Parse the ``changes`` list of a serialized result."""
+    if "changes" not in data or not isinstance(data["changes"], list):
+        raise ReproError("serialized result has no 'changes' list")
+    changes = []
+    for entry in data["changes"]:
+        try:
+            changes.append(
+                CellChange(
+                    ref=TupleRef(entry["relation"], tuple(entry["key"])),
+                    attribute=entry["attribute"],
+                    old_value=entry["old_value"],
+                    new_value=entry["new_value"],
+                    weight=float(entry.get("weight", 0.0)),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise ReproError(f"malformed change entry {entry!r}: {error}")
+    return tuple(changes)
+
+
+def apply_changes(
+    instance: DatabaseInstance, changes: tuple[CellChange, ...]
+) -> DatabaseInstance:
+    """Re-apply an audited change list to a copy of an instance.
+
+    Each change's ``old_value`` is checked against the target cell; a
+    mismatch means the instance diverged from the audited source and the
+    replay refuses to proceed.
+    """
+    repaired = instance.copy()
+    for change in changes:
+        current = repaired.resolve(change.ref)
+        if current[change.attribute] != change.old_value:
+            raise ReproError(
+                f"replay conflict at {change.ref}: expected "
+                f"{change.attribute}={change.old_value!r}, found "
+                f"{current[change.attribute]!r}"
+            )
+        repaired.replace_tuple(
+            current.replace({change.attribute: change.new_value})
+        )
+    return repaired

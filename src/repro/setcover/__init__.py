@@ -1,0 +1,52 @@
+"""Minimum-Weight Set Cover: instance model and the paper's four solvers.
+
+The repair problem reduces to MWSCP (Definition 3.1).  This package holds
+the generic set-cover machinery: the instance representation, the plain
+greedy algorithm (Algorithm 1), the *modified* greedy with an indexed
+priority queue (Algorithms 2-5, the paper's contribution), the layer
+algorithm and its modified version (Section 3 end), and an exact
+branch-and-bound solver used to measure true approximation ratios on small
+instances.
+"""
+
+from repro.setcover.instance import SetCoverInstance, WeightedSet
+from repro.setcover.heap import IndexedHeap
+from repro.setcover.greedy import greedy_cover
+from repro.setcover.modified_greedy import modified_greedy_cover
+from repro.setcover.layer import layer_cover, modified_layer_cover
+from repro.setcover.exact import exact_cover
+from repro.setcover.decompose import (
+    Component,
+    component_size_histogram,
+    decompose,
+    solve_by_components,
+)
+from repro.setcover.verify import is_cover, cover_weight, minimize_cover
+from repro.setcover.solvers import (
+    SOLVERS,
+    Cover,
+    exact_decomposed_cover,
+    get_solver,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "WeightedSet",
+    "IndexedHeap",
+    "greedy_cover",
+    "modified_greedy_cover",
+    "layer_cover",
+    "modified_layer_cover",
+    "exact_cover",
+    "exact_decomposed_cover",
+    "Component",
+    "component_size_histogram",
+    "decompose",
+    "solve_by_components",
+    "is_cover",
+    "cover_weight",
+    "minimize_cover",
+    "SOLVERS",
+    "Cover",
+    "get_solver",
+]

@@ -1,0 +1,100 @@
+"""Enumerate *all* minimum-weight covers of a small MWSC instance.
+
+The paper's examples reason about the full repair set ("the two repairs of
+the database", Example 2.3; "the following are the attribute-update
+repairs", Example 5.4).  Enumerating every optimal cover makes those
+statements testable and powers the consistent-query-answering layer
+(:mod:`repro.cqa`), which needs *all* repairs to decide certainty.
+
+The search reuses the branch-and-bound of :mod:`repro.setcover.exact` with
+the pruning relaxed to "<= incumbent + ε" so ties survive, and returns the
+distinct optimal covers as frozensets of set ids.  Exponential, small
+instances only - exactly like the exact solver.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SetCoverError
+from repro.setcover.exact import MAX_EXACT_ELEMENTS, exact_cover
+from repro.setcover.instance import SetCoverInstance
+
+#: Safety valve: stop after this many optimal covers.
+MAX_ENUMERATED = 10_000
+
+
+def enumerate_optimal_covers(
+    instance: SetCoverInstance,
+    max_elements: int = MAX_EXACT_ELEMENTS,
+    max_covers: int = MAX_ENUMERATED,
+) -> tuple[frozenset[int], ...]:
+    """All minimum-weight covers, as frozensets of set ids.
+
+    Only *irredundant* covers are produced (no cover contains a set whose
+    elements are all covered by the others) - redundant optimal covers
+    exist only with zero-weight sets and would be infinite families
+    otherwise.
+    """
+    if instance.n_elements == 0:
+        return (frozenset(),)
+    if instance.n_elements > max_elements:
+        raise SetCoverError(
+            f"cover enumeration limited to {max_elements} elements "
+            f"(instance has {instance.n_elements})"
+        )
+    instance.check_coverable()
+
+    best_weight = exact_cover(instance, max_elements=max_elements).weight
+    epsilon = 1e-9 * (1.0 + abs(best_weight))
+
+    element_to_sets = instance.element_to_sets
+    sets = instance.sets
+    min_rate = [
+        min(sets[s].weight / len(sets[s].elements) for s in adjacent)
+        for adjacent in element_to_sets
+    ]
+
+    found: set[frozenset[int]] = set()
+    uncovered = set(range(instance.n_elements))
+    chosen: list[int] = []
+
+    def lower_bound() -> float:
+        return sum(min_rate[e] for e in uncovered)
+
+    def branch(current_weight: float) -> None:
+        if len(found) >= max_covers:
+            return
+        if not uncovered:
+            if current_weight <= best_weight + epsilon:
+                cover = frozenset(chosen)
+                if _is_irredundant(instance, cover):
+                    found.add(cover)
+            return
+        if current_weight + lower_bound() > best_weight + epsilon:
+            return
+        element = min(uncovered, key=lambda e: len(element_to_sets[e]))
+        for set_id in sorted(
+            element_to_sets[element], key=lambda s: (sets[s].weight, s)
+        ):
+            if set_id in chosen:
+                continue
+            weighted_set = sets[set_id]
+            newly = [e for e in weighted_set.elements if e in uncovered]
+            uncovered.difference_update(newly)
+            chosen.append(set_id)
+            branch(current_weight + weighted_set.weight)
+            chosen.pop()
+            uncovered.update(newly)
+
+    branch(0.0)
+    return tuple(sorted(found, key=sorted))
+
+
+def _is_irredundant(instance: SetCoverInstance, cover: frozenset[int]) -> bool:
+    for candidate in cover:
+        others: set[int] = set()
+        for set_id in cover:
+            if set_id != candidate:
+                others.update(instance.sets[set_id].elements)
+        if set(instance.sets[candidate].elements) <= others:
+            return False
+    return True

@@ -1,0 +1,163 @@
+"""An indexed binary min-heap with O(log n) key updates.
+
+This is the priority queue of Algorithms 3 and 5: the modified greedy
+algorithm needs *decrease/increase-key* on arbitrary entries when a
+selected set covers elements and the effective weights of the sets sharing
+those elements change.  ``heapq`` cannot reposition an entry, so we keep an
+explicit ``item -> slot`` index and sift entries in both directions.
+
+Keys are compared as plain tuples; callers use ``(effective_weight,
+set_id)`` keys to get deterministic tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.exceptions import SetCoverError
+
+
+class IndexedHeap:
+    """Binary min-heap over hashable items with updatable keys."""
+
+    def __init__(self) -> None:
+        self._keys: list[Any] = []
+        self._items: list[Hashable] = []
+        self._slots: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._slots
+
+    def key_of(self, item: Hashable) -> Any:
+        """Current key of ``item``; raises if absent."""
+        try:
+            return self._keys[self._slots[item]]
+        except KeyError:
+            raise SetCoverError(f"item {item!r} not in heap") from None
+
+    def push(self, item: Hashable, key: Any) -> None:
+        """Insert a new item; raises if it is already present."""
+        if item in self._slots:
+            raise SetCoverError(f"item {item!r} already in heap")
+        slot = len(self._items)
+        self._keys.append(key)
+        self._items.append(item)
+        self._slots[item] = slot
+        self._sift_up(slot)
+
+    def peek(self) -> tuple[Hashable, Any]:
+        """The (item, key) pair with the minimum key, without removing it."""
+        if not self._items:
+            raise SetCoverError("peek on empty heap")
+        return self._items[0], self._keys[0]
+
+    def pop(self) -> tuple[Hashable, Any]:
+        """Remove and return the (item, key) pair with the minimum key."""
+        if not self._items:
+            raise SetCoverError("pop on empty heap")
+        item, key = self._items[0], self._keys[0]
+        self._delete_slot(0)
+        return item, key
+
+    def update(self, item: Hashable, key: Any) -> None:
+        """Change the key of ``item`` (up-heap or down-heap as needed)."""
+        slot = self._slots.get(item)
+        if slot is None:
+            raise SetCoverError(f"item {item!r} not in heap")
+        old_key = self._keys[slot]
+        self._keys[slot] = key
+        if key < old_key:
+            self._sift_up(slot)
+        elif old_key < key:
+            self._sift_down(slot)
+
+    def push_or_update(self, item: Hashable, key: Any) -> None:
+        """Insert ``item`` or update its key when already present."""
+        if item in self._slots:
+            self.update(item, key)
+        else:
+            self.push(item, key)
+
+    def remove(self, item: Hashable) -> None:
+        """Delete ``item`` regardless of its position."""
+        slot = self._slots.get(item)
+        if slot is None:
+            raise SetCoverError(f"item {item!r} not in heap")
+        self._delete_slot(slot)
+
+    def items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate (item, key) pairs in arbitrary (heap) order."""
+        return iter(zip(self._items, self._keys))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _delete_slot(self, slot: int) -> None:
+        last = len(self._items) - 1
+        item = self._items[slot]
+        if slot != last:
+            self._move(last, slot)
+            self._items.pop()
+            self._keys.pop()
+            del self._slots[item]
+            # The moved entry may need to travel either way.
+            self._sift_up(slot)
+            self._sift_down(slot)
+        else:
+            self._items.pop()
+            self._keys.pop()
+            del self._slots[item]
+
+    def _move(self, source: int, destination: int) -> None:
+        self._items[destination] = self._items[source]
+        self._keys[destination] = self._keys[source]
+        self._slots[self._items[destination]] = destination
+
+    def _swap(self, a: int, b: int) -> None:
+        self._items[a], self._items[b] = self._items[b], self._items[a]
+        self._keys[a], self._keys[b] = self._keys[b], self._keys[a]
+        self._slots[self._items[a]] = a
+        self._slots[self._items[b]] = b
+
+    def _sift_up(self, slot: int) -> None:
+        while slot > 0:
+            parent = (slot - 1) >> 1
+            if self._keys[slot] < self._keys[parent]:
+                self._swap(slot, parent)
+                slot = parent
+            else:
+                break
+
+    def _sift_down(self, slot: int) -> None:
+        size = len(self._items)
+        while True:
+            left = 2 * slot + 1
+            right = left + 1
+            smallest = slot
+            if left < size and self._keys[left] < self._keys[smallest]:
+                smallest = left
+            if right < size and self._keys[right] < self._keys[smallest]:
+                smallest = right
+            if smallest == slot:
+                break
+            self._swap(slot, smallest)
+            slot = smallest
+
+    def check_invariant(self) -> None:
+        """Assert the heap property and index consistency (for tests)."""
+        for slot in range(1, len(self._items)):
+            parent = (slot - 1) >> 1
+            if self._keys[slot] < self._keys[parent]:
+                raise SetCoverError(
+                    f"heap property violated at slot {slot}"
+                )
+        for item, slot in self._slots.items():
+            if self._items[slot] != item:
+                raise SetCoverError(f"index inconsistent for item {item!r}")
+        if len(self._slots) != len(self._items):
+            raise SetCoverError("index size mismatch")

@@ -1,0 +1,193 @@
+"""The layer algorithm and its priority-queue ("modified") version.
+
+The layer algorithm (Hochbaum ch. 3 / Vazirani's layering) approximates
+MWSC within the maximum element *frequency* - a constant for the repair
+reduction, where each violation set has a bounded number of candidate
+fixes.  Following the paper's description: in each iteration compute
+``c = min { w_i(s) / |s| : s ∈ S_i }`` over the live sets (``|s|`` counts
+*uncovered* elements), lower every live set's weight by ``c·|s|``, move the
+sets whose residual weight reached zero into the cover, and drop their
+elements; repeat until everything is covered.
+
+``modified_layer_cover`` reuses the data structures of the modified greedy
+algorithm (the paper: "The new data structure ... can also be used for the
+layer approximation algorithm").  The key observation making the heap work:
+subtracting ``c·|s|`` from every residual weight lowers every ratio
+``w_res(s)/|s|`` by exactly ``c``, so a single global offset ``Φ = Σ c_j``
+replaces the per-set subtraction and the heap stores *absolute* ratios
+``Φ_at_touch + ratio_at_touch``; a set is re-keyed only when it loses
+elements.  Both versions use the same tie-breaking (set id) and return the
+same cover.
+
+The experiments (Figures 2 and 3) show the surprise the paper reports:
+despite the better worst-case factor, the layer algorithm gives *worse*
+covers than greedy in practice, and runs slower.
+"""
+
+from __future__ import annotations
+
+from repro.setcover.heap import IndexedHeap
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.result import Cover
+
+
+def _tolerance(weight: float) -> float:
+    """Absolute tolerance for "residual weight reached zero" tests."""
+    return 1e-9 * (1.0 + abs(weight))
+
+
+def layer_cover(instance: SetCoverInstance) -> Cover:
+    """Run the plain layer algorithm (per-iteration full subtraction)."""
+    instance.check_coverable()
+
+    residual = {s.set_id: s.weight for s in instance.sets if s.elements}
+    uncovered_of_set: dict[int, set[int]] = {
+        s.set_id: set(s.elements) for s in instance.sets if s.elements
+    }
+    original_weight = [s.weight for s in instance.sets]
+    covered = [False] * instance.n_elements
+    n_uncovered = instance.n_elements
+    selected: list[int] = []
+    total_weight = 0.0
+    iterations = 0
+
+    while n_uncovered > 0:
+        iterations += 1
+        # c = min effective residual weight over live sets.
+        c = min(
+            residual[set_id] / len(uncovered)
+            for set_id, uncovered in uncovered_of_set.items()
+        )
+        c = max(c, 0.0)
+
+        # w_i(s) = w_{i-1}(s) - c * |s|  for every live set.
+        zero_sets: list[int] = []
+        for set_id, uncovered in uncovered_of_set.items():
+            residual[set_id] -= c * len(uncovered)
+            if residual[set_id] <= _tolerance(original_weight[set_id]):
+                zero_sets.append(set_id)
+
+        # Move zero-residual sets into the cover (set-id order for
+        # determinism); a zero set whose elements were all covered by an
+        # earlier zero set of the same layer is dropped instead.
+        for set_id in sorted(zero_sets):
+            uncovered = uncovered_of_set.pop(set_id)
+            live_elements = [e for e in uncovered if not covered[e]]
+            if not live_elements:
+                continue
+            selected.append(set_id)
+            total_weight += original_weight[set_id]
+            for element in live_elements:
+                covered[element] = True
+                n_uncovered -= 1
+
+        # Shrink the remaining live sets; exhausted ones leave S.
+        exhausted = []
+        for set_id, uncovered in uncovered_of_set.items():
+            uncovered.difference_update(
+                [e for e in uncovered if covered[e]]
+            )
+            if not uncovered:
+                exhausted.append(set_id)
+        for set_id in exhausted:
+            del uncovered_of_set[set_id]
+
+    return Cover(
+        selected=tuple(selected),
+        weight=total_weight,
+        algorithm="layer",
+        iterations=iterations,
+        stats={},
+    )
+
+
+def modified_layer_cover(instance: SetCoverInstance) -> Cover:
+    """Run the layer algorithm on the modified-greedy data structures.
+
+    Heap keys are ``(absolute_ratio, set_id)`` where
+    ``absolute_ratio = Φ + w_res(s)/|uncovered(s)|`` and ``Φ`` accumulates
+    the subtracted layer constants; popping the minimum yields the next set
+    whose residual hits zero.
+    """
+    instance.check_coverable()
+
+    element_to_sets = instance.element_to_sets
+    original_weight = [s.weight for s in instance.sets]
+    uncovered_count = [len(s.elements) for s in instance.sets]
+    covered = [False] * instance.n_elements
+
+    heap = IndexedHeap()
+    # absolute_ratio bookkeeping: residual(s) = (abs_ratio(s) - Φ) * uncov(s)
+    for weighted_set in instance.sets:
+        if weighted_set.elements:
+            ratio = weighted_set.weight / len(weighted_set.elements)
+            heap.push(weighted_set.set_id, (ratio, weighted_set.set_id))
+
+    phi = 0.0
+    n_uncovered = instance.n_elements
+    selected: list[int] = []
+    total_weight = 0.0
+    iterations = 0
+
+    while n_uncovered > 0:
+        iterations += 1
+        set_id, (absolute_ratio, _) = heap.pop()
+        # Advance the global offset: this set's residual is now zero.
+        phi = max(phi, absolute_ratio)
+
+        # Gather the whole zero layer: every set whose residual at Φ is
+        # within the same tolerance the plain algorithm applies.  This
+        # keeps the two implementations identical at floating-point ties
+        # (the plain version processes a layer's zero sets in id order).
+        batch = [set_id]
+        while heap:
+            next_id, (next_ratio, _) = heap.peek()
+            remaining = uncovered_count[next_id]
+            residual = (next_ratio - phi) * remaining
+            if residual <= _tolerance(original_weight[next_id]):
+                heap.pop()
+                batch.append(next_id)
+            else:
+                break
+
+        for member in sorted(batch):
+            if uncovered_count[member] == 0:
+                # all its elements were taken by an earlier zero set of
+                # this same layer; it is dropped, not selected.
+                continue
+            selected.append(member)
+            total_weight += original_weight[member]
+
+            lost: dict[int, int] = {}
+            for element in instance.sets[member].elements:
+                if covered[element]:
+                    continue
+                covered[element] = True
+                n_uncovered -= 1
+                for other_id in element_to_sets[element]:
+                    if other_id != member:
+                        lost[other_id] = lost.get(other_id, 0) + 1
+
+            for other_id, delta in lost.items():
+                before = uncovered_count[other_id]
+                uncovered_count[other_id] = before - delta
+                if other_id not in heap:
+                    continue
+                remaining = before - delta
+                if remaining == 0:
+                    heap.remove(other_id)
+                    continue
+                old_ratio = heap.key_of(other_id)[0]
+                # residual_now = (abs_ratio - Φ) * uncovered_before;
+                # re-spread it over the remaining uncovered elements.
+                residual = max((old_ratio - phi) * before, 0.0)
+                new_ratio = phi + residual / remaining
+                heap.update(other_id, (new_ratio, other_id))
+
+    return Cover(
+        selected=tuple(selected),
+        weight=total_weight,
+        algorithm="modified-layer",
+        iterations=iterations,
+        stats={"phi": phi},
+    )

@@ -1,0 +1,114 @@
+"""LP relaxation of MWSC: lower bounds and frequency rounding.
+
+Two standard tools built on ``scipy.optimize.linprog`` (HiGHS):
+
+* :func:`lp_lower_bound` - the optimum of the fractional relaxation
+  ``min w·x  s.t.  Σ_{s∋e} x_s >= 1, 0 <= x <= 1``.  It lower-bounds every
+  integral cover, so the benchmark harness can report *certified*
+  approximation-ratio upper bounds at sizes where the exact
+  branch-and-bound is hopeless (Figure-2 anchoring).
+* :func:`lp_rounding_cover` - deterministic frequency rounding: select
+  every set with ``x_s >= 1/f`` where ``f`` is the maximum element
+  frequency.  Each element has some set at fractional value ``>= 1/f``
+  among the <= f sets containing it, so the selection is a cover, and its
+  weight is at most ``f`` times the LP optimum (Vazirani, ch. 14) - the
+  same factor the layer algorithm guarantees, making it a natural third
+  quality comparator for the evaluation.
+
+The LP machinery is optional: everything else in :mod:`repro.setcover`
+works without scipy installed.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SetCoverError, UncoverableError
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.result import Cover
+
+
+def _solve_relaxation(instance: SetCoverInstance):
+    try:
+        import numpy as np
+        from scipy.optimize import linprog
+        from scipy.sparse import coo_matrix
+    except ImportError as error:  # pragma: no cover - scipy is installed here
+        raise SetCoverError(
+            "the LP solver requires scipy; install scipy or use another algorithm"
+        ) from error
+
+    instance.check_coverable()
+    n_sets = len(instance.sets)
+    if instance.n_elements == 0:
+        return np.zeros(n_sets), 0.0
+
+    rows, cols = [], []
+    for weighted_set in instance.sets:
+        for element in weighted_set.elements:
+            rows.append(element)
+            cols.append(weighted_set.set_id)
+    # linprog uses A_ub x <= b_ub; coverage Σ x >= 1 becomes -Σ x <= -1.
+    coverage = coo_matrix(
+        (-np.ones(len(rows)), (rows, cols)),
+        shape=(instance.n_elements, n_sets),
+    )
+    weights = np.array([s.weight for s in instance.sets])
+    result = linprog(
+        c=weights,
+        A_ub=coverage.tocsr(),
+        b_ub=-np.ones(instance.n_elements),
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if not result.success:
+        raise SetCoverError(f"LP relaxation failed: {result.message}")
+    return result.x, float(result.fun)
+
+
+def lp_lower_bound(instance: SetCoverInstance) -> float:
+    """Optimum of the fractional relaxation (a lower bound on any cover)."""
+    _, objective = _solve_relaxation(instance)
+    return objective
+
+
+def lp_rounding_cover(instance: SetCoverInstance) -> Cover:
+    """Deterministic LP frequency rounding (factor ``max_frequency``)."""
+    fractional, objective = _solve_relaxation(instance)
+    if instance.n_elements == 0:
+        return Cover((), 0.0, "lp-rounding", stats={"lp_bound": 0.0})
+
+    frequency = instance.max_frequency
+    if frequency == 0:
+        raise UncoverableError("instance has elements but no sets")
+    threshold = 1.0 / frequency - 1e-9
+    selected = [
+        weighted_set.set_id
+        for weighted_set in instance.sets
+        if fractional[weighted_set.set_id] >= threshold
+    ]
+    weight = sum(instance.sets[i].weight for i in selected)
+
+    # Drop sets made redundant by the rounding (cheap reverse sweep): the
+    # factor-f guarantee survives, the practical weight only improves.
+    covered_by: dict[int, int] = {}
+    for set_id in selected:
+        for element in instance.sets[set_id].elements:
+            covered_by[element] = covered_by.get(element, 0) + 1
+    pruned: list[int] = []
+    for set_id in sorted(selected, key=lambda s: -instance.sets[s].weight):
+        if all(
+            covered_by[element] > 1 for element in instance.sets[set_id].elements
+        ):
+            for element in instance.sets[set_id].elements:
+                covered_by[element] -= 1
+            pruned.append(set_id)
+    if pruned:
+        selected = [s for s in selected if s not in set(pruned)]
+        weight = sum(instance.sets[i].weight for i in selected)
+
+    return Cover(
+        selected=tuple(selected),
+        weight=weight,
+        algorithm="lp-rounding",
+        iterations=1,
+        stats={"lp_bound": objective, "pruned": float(len(pruned))},
+    )

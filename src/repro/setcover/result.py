@@ -1,0 +1,43 @@
+"""Common result type returned by every set-cover solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A set cover ``C`` plus solver bookkeeping.
+
+    Attributes
+    ----------
+    selected:
+        Ids of the chosen sets, in selection order.
+    weight:
+        Total weight ``Σ_{s ∈ C} w(s)``.
+    algorithm:
+        Name of the solver that produced the cover.
+    iterations:
+        Number of main-loop iterations the solver performed.
+    stats:
+        Solver-specific extras (e.g. heap operations, layers, B&B nodes).
+    """
+
+    selected: tuple[int, ...]
+    weight: float
+    algorithm: str
+    iterations: int = 0
+    stats: Mapping[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    def __contains__(self, set_id: int) -> bool:
+        return set_id in self.selected
+
+    def __repr__(self) -> str:
+        return (
+            f"Cover(algorithm={self.algorithm!r}, |C|={len(self.selected)}, "
+            f"weight={self.weight:g})"
+        )

@@ -1,0 +1,81 @@
+"""Validation helpers and post-processing for set covers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.result import Cover
+
+
+def is_cover(instance: SetCoverInstance, selected: Iterable[int]) -> bool:
+    """True when the selected sets cover the entire universe."""
+    covered: set[int] = set()
+    for set_id in selected:
+        covered.update(instance.sets[set_id].elements)
+    return len(covered) == instance.n_elements
+
+
+def cover_weight(instance: SetCoverInstance, selected: Iterable[int]) -> float:
+    """Total weight of the selected sets (each id counted once)."""
+    return sum(instance.sets[set_id].weight for set_id in set(selected))
+
+
+def minimize_cover(instance: SetCoverInstance, cover: Cover) -> Cover:
+    """Drop redundant sets from a cover, heaviest first.
+
+    A set is redundant when every element it contains is covered by the
+    other selected sets.  Greedy never *selects* a redundant set, but a
+    set picked early can become redundant later - and the layer algorithm
+    routinely commits several zero-residual sets of one layer whose
+    overlap makes some of them redundant.  On the repair workloads this
+    one sweep makes layer covers *lighter than greedy's* (see the Figure-2
+    ablation), at O(Σ|s|) cost.
+
+    The result is still a valid cover; the weight can only decrease.
+    """
+    counts: dict[int, int] = {}
+    for set_id in cover.selected:
+        for element in instance.sets[set_id].elements:
+            counts[element] = counts.get(element, 0) + 1
+
+    dropped: set[int] = set()
+    by_weight = sorted(
+        set(cover.selected),
+        key=lambda s: (-instance.sets[s].weight, -s),
+    )
+    for set_id in by_weight:
+        elements = instance.sets[set_id].elements
+        if elements and all(counts[e] > 1 for e in elements):
+            for element in elements:
+                counts[element] -= 1
+            dropped.add(set_id)
+
+    if not dropped:
+        return cover
+    selected = tuple(s for s in cover.selected if s not in dropped)
+    return Cover(
+        selected=selected,
+        weight=sum(instance.sets[s].weight for s in selected),
+        algorithm=f"{cover.algorithm}+prune",
+        iterations=cover.iterations,
+        stats={**cover.stats, "pruned_sets": float(len(dropped))},
+    )
+
+
+def redundant_sets(
+    instance: SetCoverInstance, selected: Iterable[int]
+) -> tuple[int, ...]:
+    """Sets of the cover that could be removed while staying a cover.
+
+    Greedy never selects a set with zero uncovered elements, so its covers
+    contain no set that was redundant *at selection time* - but a set picked
+    early can become redundant later.  Useful for quality diagnostics.
+    """
+    selected = list(selected)
+    redundant: list[int] = []
+    for candidate in selected:
+        rest = [s for s in selected if s != candidate and s not in redundant]
+        if is_cover(instance, rest):
+            redundant.append(candidate)
+    return tuple(redundant)

@@ -1,0 +1,301 @@
+"""sqlite backend: SQL violation views (Algorithm 2) + repair export.
+
+The paper stores data in Oracle 10g and retrieves violation sets by posing
+one SQL view per constraint (Example 3.6).  sqlite evaluates the identical
+SQL, making this backend a faithful stand-in for the paper's connectivity
+component while staying in the standard library.
+
+Identifiers (relation and attribute names) are validated by the schema
+layer to be alphanumeric/underscore, so interpolating them into SQL text
+is safe; all *values* travel through bound parameters.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable, Sequence
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.sql import violation_query
+from repro.exceptions import BackendError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import Relation, Schema
+from repro.model.tuples import Tuple
+from repro.repair.result import RepairResult
+from repro.storage.base import ExportMode
+from repro.violations.detector import ViolationSet, _minimal_sets
+
+
+def _column_ddl(relation: Relation) -> str:
+    columns = []
+    for attribute in relation.attributes:
+        type_name = "INTEGER" if attribute.is_flexible else ""
+        columns.append(f"{attribute.name} {type_name}".rstrip())
+    key = ", ".join(relation.key)
+    return ", ".join(columns) + f", PRIMARY KEY ({key})"
+
+
+class SqliteBackend:
+    """Backend over a sqlite database file (or ``:memory:``)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        try:
+            self._connection = sqlite3.connect(path)
+        except sqlite3.Error as error:
+            raise BackendError(f"cannot open sqlite database {path!r}: {error}")
+
+    def _cursor(self) -> sqlite3.Cursor:
+        """A cursor, translating closed/broken connections to BackendError."""
+        try:
+            return self._connection.cursor()
+        except sqlite3.Error as error:
+            raise BackendError(f"sqlite connection unusable: {error}") from error
+
+    # -- setup -----------------------------------------------------------------
+
+    def create_tables(self, schema: Schema, drop_existing: bool = False) -> None:
+        """Create one table per relation (optionally dropping old ones)."""
+        cursor = self._cursor()
+        for relation in schema:
+            if drop_existing:
+                cursor.execute(f"DROP TABLE IF EXISTS {relation.name}")
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {relation.name} "
+                f"({_column_ddl(relation)})"
+            )
+        self._connection.commit()
+
+    def create_violation_views(
+        self,
+        schema: Schema,
+        constraints: Iterable[DenialConstraint],
+        drop_existing: bool = False,
+    ) -> tuple[str, ...]:
+        """Materialize one ``<ic>_violations`` view per constraint.
+
+        Algorithm 2's literal reading: the constraint is satisfied iff its
+        view is empty, so the views double as standing inconsistency
+        monitors inside the database.  Returns the view names.
+        """
+        from repro.constraints.sql import view_name, violation_view_ddl
+
+        cursor = self._cursor()
+        names = []
+        try:
+            for index, constraint in enumerate(constraints, start=1):
+                name = view_name(constraint, index)
+                if drop_existing:
+                    cursor.execute(f"DROP VIEW IF EXISTS {name}")
+                cursor.execute(violation_view_ddl(constraint, schema, index))
+                names.append(name)
+        except sqlite3.Error as error:
+            self._connection.rollback()
+            raise BackendError(f"creating violation views failed: {error}") from error
+        self._connection.commit()
+        return tuple(names)
+
+    def write_instance(self, instance: DatabaseInstance) -> None:
+        """Insert every tuple of the instance (tables must exist)."""
+        cursor = self._cursor()
+        try:
+            for relation in instance.schema:
+                placeholders = ", ".join("?" for _ in relation.attributes)
+                sql = f"INSERT INTO {relation.name} VALUES ({placeholders})"
+                cursor.executemany(
+                    sql, [t.values for t in instance.tuples(relation.name)]
+                )
+        except sqlite3.Error as error:
+            self._connection.rollback()
+            raise BackendError(f"insert failed: {error}") from error
+        self._connection.commit()
+
+    @classmethod
+    def from_instance(
+        cls, instance: DatabaseInstance, path: str = ":memory:"
+    ) -> "SqliteBackend":
+        """Create a database holding ``instance`` (convenience for tests)."""
+        backend = cls(path)
+        backend.create_tables(instance.schema, drop_existing=True)
+        backend.write_instance(instance)
+        return backend
+
+    # -- Backend protocol --------------------------------------------------------
+
+    def load_instance(self, schema: Schema) -> DatabaseInstance:
+        """Read every table into an in-memory instance."""
+        instance = DatabaseInstance(schema)
+        cursor = self._cursor()
+        for relation in schema:
+            try:
+                rows = cursor.execute(
+                    f"SELECT {', '.join(relation.attribute_names)} "
+                    f"FROM {relation.name}"
+                )
+            except sqlite3.Error as error:
+                raise BackendError(
+                    f"cannot read table {relation.name!r}: {error}"
+                ) from error
+            for row in rows:
+                instance.insert(Tuple(relation, tuple(row)))
+        return instance
+
+    def find_violations(
+        self,
+        schema: Schema,
+        constraints: Iterable[DenialConstraint],
+    ) -> tuple[ViolationSet, ...]:
+        """Run the Algorithm-2 SQL views and assemble minimal violation sets."""
+        instance = self.load_instance(schema)
+        results: list[ViolationSet] = []
+        cursor = self._cursor()
+        for constraint in constraints:
+            compiled = violation_query(constraint, schema)
+            try:
+                rows = cursor.execute(compiled.sql).fetchall()
+            except sqlite3.Error as error:
+                raise BackendError(
+                    f"violation query failed for {constraint.label}: "
+                    f"{compiled.sql!r}: {error}"
+                ) from error
+            used_sets: set[frozenset[Tuple]] = set()
+            for row in rows:
+                tuples = []
+                for atom in compiled.atoms:
+                    key = tuple(row[i] for i in atom.key_columns)
+                    tuples.append(instance.get(atom.relation_name, key))
+                used_sets.add(frozenset(tuples))
+            ordered = sorted(
+                _minimal_sets(used_sets),
+                key=lambda s: sorted(t.ref.sort_key for t in s),
+            )
+            results.extend(ViolationSet(s, constraint) for s in ordered)
+        return tuple(results)
+
+    def export_repair(
+        self,
+        result: RepairResult,
+        mode: ExportMode,
+        destination: str | None = None,
+    ) -> str:
+        """Persist the repair per the configured export mode."""
+        if mode is ExportMode.UPDATE:
+            return self._export_update(result)
+        if mode is ExportMode.INSERT_NEW:
+            return self._export_insert_new(result)
+        if destination is None:
+            raise BackendError("DUMP_TEXT export needs a destination path")
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(result.repaired.to_text() + "\n")
+        return f"dumped to {destination}"
+
+    # -- export modes ---------------------------------------------------------------
+
+    def _export_update(self, result: RepairResult) -> str:
+        cursor = self._cursor()
+        updated = 0
+        try:
+            for change in result.changes:
+                relation = result.repaired.schema.relation(change.ref.relation_name)
+                key_clause = " AND ".join(f"{k} = ?" for k in relation.key)
+                cursor.execute(
+                    f"UPDATE {relation.name} SET {change.attribute} = ? "
+                    f"WHERE {key_clause}",
+                    (change.new_value, *change.ref.key_values),
+                )
+                updated += cursor.rowcount
+        except sqlite3.Error as error:
+            self._connection.rollback()
+            raise BackendError(f"update export failed: {error}") from error
+        self._connection.commit()
+        return f"updated {updated} rows in place"
+
+    def _export_insert_new(self, result: RepairResult) -> str:
+        cursor = self._cursor()
+        schema = result.repaired.schema
+        try:
+            for relation in schema:
+                table = f"{relation.name}_repaired"
+                cursor.execute(f"DROP TABLE IF EXISTS {table}")
+                cursor.execute(f"CREATE TABLE {table} ({_column_ddl(relation)})")
+                placeholders = ", ".join("?" for _ in relation.attributes)
+                cursor.executemany(
+                    f"INSERT INTO {table} VALUES ({placeholders})",
+                    [t.values for t in result.repaired.tuples(relation.name)],
+                )
+        except sqlite3.Error as error:
+            self._connection.rollback()
+            raise BackendError(f"insert export failed: {error}") from error
+        self._connection.commit()
+        return "inserted repaired tables with suffix _repaired"
+
+    def export_snapshot(
+        self,
+        instance: DatabaseInstance,
+        mode: ExportMode,
+        destination: str | None = None,
+    ) -> str:
+        """Persist a full instance snapshot (used by deletion repairs).
+
+        Tuple-deletion repairs shrink relations, which the per-change
+        ``UPDATE`` path cannot express; ``UPDATE`` mode therefore rewrites
+        each table from the snapshot inside one transaction.
+        """
+        if mode is ExportMode.UPDATE:
+            cursor = self._cursor()
+            try:
+                for relation in instance.schema:
+                    cursor.execute(f"DELETE FROM {relation.name}")
+                    placeholders = ", ".join("?" for _ in relation.attributes)
+                    cursor.executemany(
+                        f"INSERT INTO {relation.name} VALUES ({placeholders})",
+                        [t.values for t in instance.tuples(relation.name)],
+                    )
+            except sqlite3.Error as error:
+                self._connection.rollback()
+                raise BackendError(f"snapshot export failed: {error}") from error
+            self._connection.commit()
+            return "rewrote tables from repaired snapshot"
+        if mode is ExportMode.INSERT_NEW:
+            cursor = self._cursor()
+            try:
+                for relation in instance.schema:
+                    table = f"{relation.name}_repaired"
+                    cursor.execute(f"DROP TABLE IF EXISTS {table}")
+                    cursor.execute(
+                        f"CREATE TABLE {table} ({_column_ddl(relation)})"
+                    )
+                    placeholders = ", ".join("?" for _ in relation.attributes)
+                    cursor.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})",
+                        [t.values for t in instance.tuples(relation.name)],
+                    )
+            except sqlite3.Error as error:
+                self._connection.rollback()
+                raise BackendError(f"snapshot export failed: {error}") from error
+            self._connection.commit()
+            return "inserted repaired tables with suffix _repaired"
+        if destination is None:
+            raise BackendError("DUMP_TEXT export needs a destination path")
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(instance.to_text() + "\n")
+        return f"dumped to {destination}"
+
+    # -- misc -------------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> list[tuple]:
+        """Run raw SQL (diagnostics, tests)."""
+        try:
+            return self._connection.execute(sql, parameters).fetchall()
+        except sqlite3.Error as error:
+            raise BackendError(f"query failed: {sql!r}: {error}") from error
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,238 @@
+"""The configuration file of the repair program (Figure 1).
+
+The paper: *"The configuration file contains information about the schema
+of the database, the integrity constraints, the flexible/non-flexible
+attributes, database repair mode (update, insert into a new database, dump
+into text file)."*  We use JSON::
+
+    {
+      "schema": {
+        "relations": [
+          {
+            "name": "Client",
+            "key": ["id"],
+            "attributes": [
+              {"name": "id"},
+              {"name": "a", "flexible": true, "weight": 1.0},
+              {"name": "c", "flexible": true, "weight": 1.0}
+            ]
+          }
+        ]
+      },
+      "constraints": [
+        "ic1: NOT(Client(id, a, c), a < 18, c > 50)"
+      ],
+      "algorithm": "modified-greedy",
+      "metric": "l1",
+      "violation_detection": "memory",
+      "source": {"backend": "sqlite", "path": "clients.db"},
+      "export": {"mode": "update"}
+    }
+
+``source.backend`` is ``sqlite`` (with ``path``) or ``memory`` (with
+inline ``rows``); ``export.mode`` is ``update`` / ``insert`` / ``dump``
+(the latter with ``destination``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.parser import parse_denials
+from repro.exceptions import ConfigError, ConstraintParseError, SchemaError
+from repro.fixes.distance import get_metric
+from repro.model.schema import Attribute, AttributeRole, Relation, Schema
+from repro.setcover.solvers import SOLVERS
+from repro.storage.base import ExportMode
+
+_VALID_DETECTION = ("memory", "sql")
+
+
+_VALID_SEMANTICS = ("update", "delete", "mixed")
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Parsed and validated repair-program configuration.
+
+    ``repair_semantics`` selects between the paper's attribute-update
+    repairs (``update``, Section 3), minimum-cardinality tuple deletions
+    (``delete``, Section 5), and the conclusion's combined mode
+    (``mixed``); ``table_weights`` sets the per-relation deletion weights
+    ``α_{δ_R}`` for the deletion-based modes.
+    """
+
+    schema: Schema
+    constraints: tuple[DenialConstraint, ...]
+    algorithm: str = "modified-greedy"
+    metric: str = "l1"
+    violation_detection: str = "memory"
+    source: Mapping[str, Any] = field(default_factory=dict)
+    export_mode: ExportMode = ExportMode.UPDATE
+    export_destination: str | None = None
+    repair_semantics: str = "update"
+    table_weights: Mapping[str, float] = field(default_factory=dict)
+
+    # -- parsing ------------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "RepairConfig":
+        """Load a JSON configuration file."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ConfigError(f"cannot read config file {path}: {error}")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"config file {path} is not valid JSON: {error}")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RepairConfig":
+        """Build a config from a parsed JSON object."""
+        if not isinstance(data, Mapping):
+            raise ConfigError("configuration root must be a JSON object")
+
+        schema = _parse_schema(data.get("schema"))
+        constraints = _parse_constraints(data.get("constraints"), schema)
+
+        algorithm = data.get("algorithm", "modified-greedy")
+        if algorithm not in SOLVERS:
+            raise ConfigError(
+                f"unknown algorithm {algorithm!r}; choose from {sorted(SOLVERS)}"
+            )
+        metric = data.get("metric", "l1")
+        try:
+            get_metric(metric)
+        except Exception as error:
+            raise ConfigError(str(error))
+
+        detection = data.get("violation_detection", "memory")
+        if detection not in _VALID_DETECTION:
+            raise ConfigError(
+                f"violation_detection must be one of {_VALID_DETECTION}, "
+                f"got {detection!r}"
+            )
+
+        source = data.get("source", {"backend": "memory", "rows": {}})
+        if not isinstance(source, Mapping) or "backend" not in source:
+            raise ConfigError("source must be an object with a 'backend' key")
+        if source["backend"] not in ("memory", "sqlite", "csv"):
+            raise ConfigError(
+                f"unknown source backend {source['backend']!r}"
+            )
+        if source["backend"] == "sqlite" and "path" not in source:
+            raise ConfigError("sqlite source needs a 'path'")
+        if source["backend"] == "csv" and "directory" not in source:
+            raise ConfigError("csv source needs a 'directory'")
+
+        semantics = data.get("repair_semantics", "update")
+        if semantics not in _VALID_SEMANTICS:
+            raise ConfigError(
+                f"repair_semantics must be one of {_VALID_SEMANTICS}, "
+                f"got {semantics!r}"
+            )
+        table_weights = data.get("table_weights", {})
+        if not isinstance(table_weights, Mapping):
+            raise ConfigError("table_weights must be an object")
+        for relation_name, weight in table_weights.items():
+            if relation_name not in schema:
+                raise ConfigError(
+                    f"table_weights names unknown relation {relation_name!r}"
+                )
+            if not isinstance(weight, (int, float)) or weight <= 0:
+                raise ConfigError(
+                    f"table_weights[{relation_name!r}] must be positive"
+                )
+        if semantics == "update" and table_weights:
+            raise ConfigError(
+                "table_weights only applies to delete/mixed repair_semantics"
+            )
+
+        export = data.get("export", {"mode": "update"})
+        if not isinstance(export, Mapping):
+            raise ConfigError("export must be an object")
+        try:
+            export_mode = ExportMode.from_name(export.get("mode", "update"))
+        except ValueError as error:
+            raise ConfigError(str(error))
+        destination = export.get("destination")
+        if export_mode is ExportMode.DUMP_TEXT and not destination:
+            raise ConfigError("dump export mode needs a 'destination'")
+
+        return cls(
+            schema=schema,
+            constraints=constraints,
+            algorithm=algorithm,
+            metric=metric,
+            violation_detection=detection,
+            source=dict(source),
+            export_mode=export_mode,
+            export_destination=destination,
+            repair_semantics=semantics,
+            table_weights=dict(table_weights),
+        )
+
+
+def _parse_schema(data: Any) -> Schema:
+    if not isinstance(data, Mapping) or "relations" not in data:
+        raise ConfigError("config needs schema.relations")
+    relations = []
+    for entry in data["relations"]:
+        if not isinstance(entry, Mapping):
+            raise ConfigError("each relation must be an object")
+        for required in ("name", "key", "attributes"):
+            if required not in entry:
+                raise ConfigError(f"relation is missing {required!r}")
+        attributes = []
+        for attribute in entry["attributes"]:
+            if isinstance(attribute, str):
+                attributes.append(Attribute.hard(attribute))
+                continue
+            if not isinstance(attribute, Mapping) or "name" not in attribute:
+                raise ConfigError(
+                    f"bad attribute spec in relation {entry['name']!r}: "
+                    f"{attribute!r}"
+                )
+            role = (
+                AttributeRole.FLEXIBLE
+                if attribute.get("flexible", False)
+                else AttributeRole.HARD
+            )
+            try:
+                attributes.append(
+                    Attribute(
+                        attribute["name"], role, float(attribute.get("weight", 1.0))
+                    )
+                )
+            except (SchemaError, ValueError) as error:
+                raise ConfigError(str(error))
+        try:
+            relations.append(Relation(entry["name"], attributes, entry["key"]))
+        except SchemaError as error:
+            raise ConfigError(str(error))
+    try:
+        return Schema(relations)
+    except SchemaError as error:
+        raise ConfigError(str(error))
+
+
+def _parse_constraints(data: Any, schema: Schema) -> tuple[DenialConstraint, ...]:
+    if not isinstance(data, list) or not data:
+        raise ConfigError("config needs a non-empty 'constraints' list")
+    try:
+        constraints = parse_denials([str(line) for line in data])
+    except ConstraintParseError as error:
+        raise ConfigError(f"bad constraint: {error}")
+    for constraint in constraints:
+        try:
+            constraint.validate(schema)
+        except Exception as error:
+            raise ConfigError(str(error))
+    return tuple(constraints)

@@ -1,0 +1,138 @@
+"""The end-to-end repair program (the architecture of Figure 1).
+
+``RepairProgram`` wires the boxes of the paper's Figure 1 together:
+
+1. the *configuration parser* (:class:`RepairConfig`) has already read the
+   schema, constraints, flexible attributes, and export mode;
+2. the *database connectivity* component opens the configured backend;
+3. the *mapping component* loads the data into main memory and builds the
+   MWSCP instance (Definition 3.1);
+4. the *MWSCP solver* runs the configured approximation algorithm;
+5. the mapping component reconstructs the repair and the chosen *export
+   mode* persists it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cardinality.engine import DeletionRepairResult, cardinality_repair
+from repro.exceptions import ConfigError
+from repro.model.instance import DatabaseInstance
+from repro.repair.engine import repair_database
+from repro.repair.result import RepairResult
+from repro.storage.base import Backend
+from repro.storage.csvdir import CsvBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SqliteBackend
+from repro.system.config import RepairConfig
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    """What one run of the repair program did.
+
+    ``result`` is always the attribute-update result (for deletion-based
+    semantics, the inner result over ``D#``); ``deletion`` carries the
+    projected tuple-deletion outcome when ``repair_semantics`` was
+    ``delete`` or ``mixed``.
+    """
+
+    config: RepairConfig
+    result: RepairResult
+    export_note: str
+    deletion: DeletionRepairResult | None = None
+
+    def summary(self) -> str:
+        """Human-readable run report."""
+        lines = [self.result.summary()]
+        if self.deletion is not None:
+            lines.append(f"semantics        : {self.config.repair_semantics}")
+            lines.append(f"tuples deleted   : {self.deletion.deletions}")
+        lines.append(f"export           : {self.export_note}")
+        return "\n".join(lines)
+
+
+class RepairProgram:
+    """One configured instance of the repair system."""
+
+    def __init__(self, config: RepairConfig, backend: Backend | None = None) -> None:
+        self.config = config
+        self.backend = backend if backend is not None else self._open_backend()
+
+    def _open_backend(self) -> Backend:
+        source = self.config.source
+        if source["backend"] == "sqlite":
+            return SqliteBackend(source["path"])
+        if source["backend"] == "csv":
+            return CsvBackend(source["directory"])
+        rows = source.get("rows", {})
+        if not isinstance(rows, dict):
+            raise ConfigError("memory source 'rows' must be an object")
+        normalized = {
+            name: [tuple(row) for row in relation_rows]
+            for name, relation_rows in rows.items()
+        }
+        return MemoryBackend.from_rows(self.config.schema, normalized)
+
+    def load(self) -> DatabaseInstance:
+        """Database-connectivity step: pull the instance into memory."""
+        return self.backend.load_instance(self.config.schema)
+
+    def run(self, export: bool = True) -> ProgramReport:
+        """Execute the full pipeline; ``export=False`` is a dry run."""
+        instance = self.load()
+        if self.config.repair_semantics in ("delete", "mixed"):
+            return self._run_deletion(instance, export)
+
+        violations = None
+        if self.config.violation_detection == "sql":
+            violations = self.backend.find_violations(
+                self.config.schema, self.config.constraints
+            )
+        result = repair_database(
+            instance,
+            self.config.constraints,
+            algorithm=self.config.algorithm,
+            metric=self.config.metric,
+            violations=violations,
+        )
+        if export:
+            note = self.backend.export_repair(
+                result, self.config.export_mode, self.config.export_destination
+            )
+        else:
+            note = "dry run (no export)"
+        return ProgramReport(config=self.config, result=result, export_note=note)
+
+    def _run_deletion(
+        self, instance: DatabaseInstance, export: bool
+    ) -> ProgramReport:
+        """Deletion-based semantics: Section 5's reduction, snapshot export.
+
+        Deletions shrink relations, so the export uses the backends'
+        snapshot path (table rewrite / new tables / text dump) instead of
+        per-cell updates.
+        """
+        deletion = cardinality_repair(
+            instance,
+            self.config.constraints,
+            algorithm=self.config.algorithm,
+            mode=self.config.repair_semantics,      # "delete" | "mixed"
+            table_weights=self.config.table_weights or None,
+            metric=self.config.metric,
+        )
+        if export:
+            note = self.backend.export_snapshot(
+                deletion.repaired,
+                self.config.export_mode,
+                self.config.export_destination,
+            )
+        else:
+            note = "dry run (no export)"
+        return ProgramReport(
+            config=self.config,
+            result=deletion.inner,
+            export_note=note,
+            deletion=deletion,
+        )

@@ -1,0 +1,27 @@
+"""Violation-set detection and inconsistency measures (Definition 2.4)."""
+
+from repro.violations.detector import (
+    ViolationSet,
+    find_all_violations,
+    find_violations,
+    is_consistent,
+    violations_of_tuple,
+)
+from repro.violations.degree import (
+    InconsistencyProfile,
+    degree_of_database,
+    degree_of_tuple,
+    inconsistency_profile,
+)
+
+__all__ = [
+    "ViolationSet",
+    "find_all_violations",
+    "find_violations",
+    "is_consistent",
+    "violations_of_tuple",
+    "InconsistencyProfile",
+    "degree_of_database",
+    "degree_of_tuple",
+    "inconsistency_profile",
+]

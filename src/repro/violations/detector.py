@@ -1,0 +1,404 @@
+"""Enumerate violation sets ``I(D, ic)`` (Definition 2.4).
+
+A *violation set* for a constraint ``ic`` is a minimal set of tuples that
+simultaneously participate in a violation: ``I ⊭ ic`` and every proper
+subset satisfies ``ic``.
+
+The detector enumerates all satisfying assignments of the denial body with
+a backtracking join: atoms are matched left to right, per-atom candidates
+are pre-filtered with the built-ins already decidable on that atom, and
+hash indexes on the join positions avoid quadratic scans (this is the
+in-memory equivalent of the SQL views of Algorithm 2 - the sqlite backend
+in :mod:`repro.storage.sqlite` runs the actual SQL instead).  The used
+tuple sets of the assignments are then reduced to the *minimal* ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.constraints.denial import DenialConstraint
+from repro.exceptions import ConstraintError
+from repro.model.instance import DatabaseInstance
+from repro.model.tuples import Tuple
+
+
+@dataclass(frozen=True)
+class ViolationSet:
+    """One element of ``I(D, IC)``: a minimal violating tuple set + its ic.
+
+    Violation sets are the universe elements of the set-cover reduction
+    (Definition 3.1(a)), which pairs each tuple set with the constraint it
+    violates - ``({t₁}, ic₁)`` and ``({t₁}, ic₂)`` are *distinct* elements.
+    """
+
+    tuples: frozenset[Tuple]
+    constraint: DenialConstraint
+
+    def __contains__(self, tup: Tuple) -> bool:
+        return tup in self.tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.tuples)
+
+    def sorted_tuples(self) -> tuple[Tuple, ...]:
+        """Tuples in a deterministic order (for stable output)."""
+        return tuple(
+            sorted(self.tuples, key=lambda t: t.ref.sort_key)
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.sorted_tuples())
+        return f"ViolationSet({{{inner}}}, {self.constraint.label})"
+
+
+def _local_predicate(constraint: DenialConstraint, atom_index: int):
+    """Predicate testing one atom's locally-decidable conditions on a tuple.
+
+    A var/constant built-in applies when its variable occurs in this atom
+    (join equality makes every occurrence carry the same value, so
+    filtering any one occurrence is sound); repeated variables *within*
+    the atom are intra-tuple equalities.
+    """
+    atom = constraint.relation_atoms[atom_index]
+    local_builtins = [
+        (builtin, positions)
+        for builtin in constraint.builtins
+        if (positions := atom.positions_of(builtin.variable))
+    ]
+    repeated = [
+        positions
+        for variable in set(atom.variables)
+        if len(positions := atom.positions_of(variable)) > 1
+    ]
+
+    def passes(tup: Tuple) -> bool:
+        if tup.relation.name != atom.relation_name:
+            return False
+        values = tup.values
+        for builtin, positions in local_builtins:
+            if not builtin.evaluate(values[positions[0]]):
+                return False
+        for positions in repeated:
+            if len({values[p] for p in positions}) != 1:
+                return False
+        return True
+
+    return passes
+
+
+def _atom_candidates(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    atom_index: int,
+    pool: Iterable[Tuple] | None = None,
+) -> list[Tuple]:
+    """Tuples of the atom's relation passing its locally-decidable built-ins.
+
+    ``pool`` overrides the relation scan with an explicit candidate list
+    (anchored detection).
+    """
+    if pool is None:
+        atom = constraint.relation_atoms[atom_index]
+        pool = instance.tuples(atom.relation_name)
+    passes = _local_predicate(constraint, atom_index)
+    return [tup for tup in pool if passes(tup)]
+
+
+def _satisfying_assignments(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    restrict: dict[int, list[Tuple]] | None = None,
+    raw_indexes: "Mapping[tuple[str, tuple[int, ...]], Mapping[tuple, Iterable[Tuple]]] | None" = None,
+) -> Iterator[tuple[Tuple, ...]]:
+    """Yield every assignment of tuples to atoms that witnesses a violation.
+
+    ``restrict`` optionally replaces the candidate pool of specific atom
+    positions (still filtered by that atom's built-ins); the incremental
+    detector anchors one atom on the freshly changed tuples this way.
+
+    ``raw_indexes`` optionally supplies persistent hash indexes keyed by
+    ``(relation name, attribute positions)`` mapping join-key values to
+    the relation's tuples (unfiltered).  When present, join lookups use
+    them instead of scanning the relation to build throwaway indexes -
+    with every atom either restricted or index-reachable, enumeration
+    never touches the full instance (the incremental-repair fast path).
+    """
+    constraint.validate(instance.schema)
+    n_atoms = len(constraint.relation_atoms)
+    restrict = restrict or {}
+    predicates = [_local_predicate(constraint, i) for i in range(n_atoms)]
+
+    candidate_cache: dict[int, list[Tuple]] = {}
+
+    def candidates_for(atom_index: int) -> list[Tuple]:
+        if atom_index not in candidate_cache:
+            candidate_cache[atom_index] = _atom_candidates(
+                instance, constraint, atom_index, restrict.get(atom_index)
+            )
+        return candidate_cache[atom_index]
+
+    # Restricted pools are small; checking them early avoids any other work.
+    for atom_index in restrict:
+        if not candidates_for(atom_index):
+            return
+
+    # For each atom, positions whose variable was already bound by an
+    # earlier atom (used to hash-join), and variable->position for new ones.
+    bound_by_earlier: list[list[tuple[int, str]]] = []
+    seen_variables: set[str] = set()
+    for atom in constraint.relation_atoms:
+        bound = [
+            (position, variable)
+            for position, variable in enumerate(atom.variables)
+            if variable in seen_variables
+        ]
+        bound_by_earlier.append(bound)
+        seen_variables.update(atom.variables)
+
+    # Variable/variable comparisons become checkable at the atom where the
+    # later of their two variables first appears.
+    first_atom_of_variable: dict[str, int] = {}
+    for atom_index, atom in enumerate(constraint.relation_atoms):
+        for variable in atom.variables:
+            first_atom_of_variable.setdefault(variable, atom_index)
+    comparisons_at: list[list[Any]] = [[] for _ in range(n_atoms)]
+    for comparison in constraint.variable_comparisons:
+        ready = max(
+            first_atom_of_variable[comparison.left],
+            first_atom_of_variable[comparison.right],
+        )
+        comparisons_at[ready].append(comparison)
+
+    # Hash indexes, built lazily per (atom_index, join-positions signature).
+    index_cache: dict[tuple[int, tuple[int, ...]], dict[tuple, list[Tuple]]] = {}
+
+    def index_for(
+        atom_index: int, positions: tuple[int, ...]
+    ) -> dict[tuple, list[Tuple]]:
+        cache_key = (atom_index, positions)
+        index = index_cache.get(cache_key)
+        if index is None:
+            index = {}
+            for tup in candidates_for(atom_index):
+                key = tuple(tup.values[p] for p in positions)
+                index.setdefault(key, []).append(tup)
+            index_cache[cache_key] = index
+        return index
+
+    def matches_for(
+        atom_index: int, positions: tuple[int, ...], key: tuple
+    ) -> Iterable[Tuple]:
+        if raw_indexes is not None and atom_index not in restrict:
+            atom = constraint.relation_atoms[atom_index]
+            raw = raw_indexes.get((atom.relation_name, positions))
+            if raw is not None:
+                passes = predicates[atom_index]
+                return [t for t in raw.get(key, ()) if passes(t)]
+        return index_for(atom_index, positions).get(key, ())
+
+    bindings: dict[str, Any] = {}
+    assignment: list[Tuple] = []
+
+    def extend(atom_index: int) -> Iterator[tuple[Tuple, ...]]:
+        if atom_index == n_atoms:
+            yield tuple(assignment)
+            return
+        atom = constraint.relation_atoms[atom_index]
+        bound = bound_by_earlier[atom_index]
+        if bound:
+            positions = tuple(p for p, _ in bound)
+            key = tuple(bindings[v] for _, v in bound)
+            matches = matches_for(atom_index, positions, key)
+        else:
+            matches = candidates_for(atom_index)
+        for tup in matches:
+            new_variables: list[str] = []
+            ok = True
+            for position, variable in enumerate(atom.variables):
+                value = tup.values[position]
+                if variable in bindings:
+                    if bindings[variable] != value:
+                        ok = False
+                        break
+                else:
+                    bindings[variable] = value
+                    new_variables.append(variable)
+            if ok:
+                for comparison in comparisons_at[atom_index]:
+                    if not comparison.evaluate(
+                        bindings[comparison.left], bindings[comparison.right]
+                    ):
+                        ok = False
+                        break
+            if ok:
+                assignment.append(tup)
+                yield from extend(atom_index + 1)
+                assignment.pop()
+            for variable in new_variables:
+                del bindings[variable]
+
+    yield from extend(0)
+
+
+def _minimal_sets(used_sets: set[frozenset[Tuple]]) -> list[frozenset[Tuple]]:
+    """Keep only sets with no proper subset among ``used_sets``.
+
+    A set ``I`` violates the constraint iff some used-set is contained in
+    it, so minimality (Definition 2.4) is exactly "no proper subset is a
+    used-set".  Candidate sets have at most as many tuples as the denial
+    has atoms (2-4 in practice), so the powerset walk is constant work.
+    """
+    minimal: list[frozenset[Tuple]] = []
+    for used in used_sets:
+        if len(used) > 1 and _has_proper_subset(used, used_sets):
+            continue
+        minimal.append(used)
+    return minimal
+
+
+def _has_proper_subset(
+    candidate: frozenset[Tuple], used_sets: set[frozenset[Tuple]]
+) -> bool:
+    members = tuple(candidate)
+    n = len(members)
+    for mask in range(1, (1 << n) - 1):
+        subset = frozenset(
+            members[i] for i in range(n) if mask & (1 << i)
+        )
+        if subset in used_sets:
+            return True
+    return False
+
+
+def find_violations(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    max_violations: int | None = None,
+) -> tuple[ViolationSet, ...]:
+    """Compute ``I(D, ic)``: all minimal violation sets of one constraint.
+
+    ``max_violations`` bounds the number of satisfying assignments explored
+    (a safety valve against accidentally cartesian constraints); exceeding
+    it raises :class:`ConstraintError`.
+    """
+    used_sets: set[frozenset[Tuple]] = set()
+    for count, assignment in enumerate(
+        _satisfying_assignments(instance, constraint), start=1
+    ):
+        if max_violations is not None and count > max_violations:
+            raise ConstraintError(
+                f"{constraint.label}: more than {max_violations} violation "
+                "witnesses; refusing to enumerate further"
+            )
+        used_sets.add(frozenset(assignment))
+    ordered = sorted(
+        _minimal_sets(used_sets),
+        key=lambda s: sorted(t.ref.sort_key for t in s),
+    )
+    return tuple(ViolationSet(s, constraint) for s in ordered)
+
+
+def find_all_violations(
+    instance: DatabaseInstance,
+    constraints: Iterable[DenialConstraint],
+    max_violations: int | None = None,
+) -> tuple[ViolationSet, ...]:
+    """Compute ``I(D, IC)`` across all constraints, in constraint order."""
+    result: list[ViolationSet] = []
+    for constraint in constraints:
+        result.extend(find_violations(instance, constraint, max_violations))
+    return tuple(result)
+
+
+def violations_of_tuple(
+    violations: Iterable[ViolationSet], tup: Tuple
+) -> tuple[ViolationSet, ...]:
+    """Filter ``I(D, IC)`` down to ``I(D, ic, t)`` for every ic: sets containing ``t``."""
+    return tuple(v for v in violations if tup in v)
+
+
+def _anchored_first(constraint: DenialConstraint, atom_index: int) -> DenialConstraint:
+    """The same denial with one atom moved to the front.
+
+    Violation witnesses are order-independent (the used tuple *set* is
+    what matters), but putting the anchored atom first lets the join start
+    from the small changed set and reach the rest through hash lookups.
+    """
+    if atom_index == 0:
+        return constraint
+    atoms = list(constraint.relation_atoms)
+    atoms.insert(0, atoms.pop(atom_index))
+    return DenialConstraint(
+        atoms,
+        constraint.builtins,
+        constraint.variable_comparisons,
+        name=constraint.name,
+    )
+
+
+def find_violations_involving(
+    instance: DatabaseInstance,
+    constraints: Iterable[DenialConstraint],
+    anchors: Iterable[Tuple],
+    raw_indexes: Mapping | None = None,
+) -> tuple[ViolationSet, ...]:
+    """Violation sets that involve at least one of the ``anchors``.
+
+    Used for *incremental* repair: when a consistent database receives a
+    batch of inserts/updates, every new violation must involve a changed
+    tuple (old tuples alone were consistent), so detection anchors one
+    atom at a time on the changed set instead of re-joining the whole
+    database.  The anchored atom is moved to the front of the join order;
+    with ``raw_indexes`` (see :class:`repro.violations.indexes.JoinIndexCache`)
+    the remaining atoms are reached by hash lookups and the full instance
+    is never scanned.
+
+    Minimality is computed within the returned candidates, which is exact
+    under the stated precondition (the instance minus the anchors is
+    consistent); with an inconsistent base instance the result still lists
+    violating sets but may include sets whose minimal core avoids the
+    anchors.
+    """
+    anchor_list = list(anchors)
+    results: list[ViolationSet] = []
+    for constraint in constraints:
+        used_sets: set[frozenset[Tuple]] = set()
+        for atom_index in range(len(constraint.relation_atoms)):
+            relevant = [
+                t
+                for t in anchor_list
+                if t.relation.name
+                == constraint.relation_atoms[atom_index].relation_name
+            ]
+            if not relevant:
+                continue
+            reordered = _anchored_first(constraint, atom_index)
+            for assignment in _satisfying_assignments(
+                instance,
+                reordered,
+                restrict={0: relevant},
+                raw_indexes=raw_indexes,
+            ):
+                used_sets.add(frozenset(assignment))
+        ordered = sorted(
+            _minimal_sets(used_sets),
+            key=lambda s: sorted(t.ref.sort_key for t in s),
+        )
+        results.extend(ViolationSet(s, constraint) for s in ordered)
+    return tuple(results)
+
+
+def is_consistent(
+    instance: DatabaseInstance,
+    constraints: Iterable[DenialConstraint],
+) -> bool:
+    """True when ``D |= IC`` (no satisfying assignment for any denial body)."""
+    for constraint in constraints:
+        for _ in _satisfying_assignments(instance, constraint):
+            return False
+    return True

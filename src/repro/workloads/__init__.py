@@ -1,0 +1,25 @@
+"""Workload generators for examples, tests, and the benchmark harness."""
+
+from repro.workloads.generator import Workload
+from repro.workloads.clientbuy import client_buy_workload
+from repro.workloads.census import census_workload
+from repro.workloads.corruption import CorruptionResult, InjectedError, corrupt
+from repro.workloads.finance import finance_workload
+from repro.workloads.paperdemo import (
+    deletion_example,
+    paper_example,
+    paper_pub_example,
+)
+
+__all__ = [
+    "Workload",
+    "client_buy_workload",
+    "census_workload",
+    "CorruptionResult",
+    "InjectedError",
+    "corrupt",
+    "finance_workload",
+    "deletion_example",
+    "paper_example",
+    "paper_pub_example",
+]

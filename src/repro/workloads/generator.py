@@ -1,0 +1,34 @@
+"""Shared workload machinery: the :class:`Workload` bundle.
+
+All generators are deterministic given a seed (``random.Random(seed)``),
+which is what lets the benchmark harness replicate the paper's protocol of
+"3 random databases per size, averaged" with stable numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.constraints.denial import DenialConstraint
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated benchmark/demo database plus its constraints."""
+
+    name: str
+    schema: Schema
+    instance: DatabaseInstance
+    constraints: tuple[DenialConstraint, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples."""
+        return len(self.instance)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, tuples={self.size})"

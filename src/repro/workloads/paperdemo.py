@@ -1,0 +1,124 @@
+"""The paper's running examples as ready-made workloads.
+
+* :func:`paper_example` - Examples 1.1 / 2.3: the ``Paper`` table with
+  tuples ``t₁, t₂, t₃`` and constraints ic₁, ic₂ (weights 1, 1/20, 1/2).
+* :func:`paper_pub_example` - Examples 2.5 / 3.3: adds the ``Pub`` table
+  (α_Pag = 1/10) and the join constraint ic₃.
+* :func:`deletion_example` - Example 5.4: the ``P``/``T`` database used to
+  demonstrate cardinality repairs.
+
+These are used as golden tests (the paper states their violation sets,
+MWSCP matrices, and repairs explicitly) and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.parser import parse_denials
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import Attribute, Relation, Schema
+from repro.workloads.generator import Workload
+
+PAPER_CONSTRAINTS = """
+ic1: NOT(Paper(x, y, z, w), y > 0, z < 50)
+ic2: NOT(Paper(x, y, z, w), y > 0, w < 1)
+"""
+
+PUB_CONSTRAINT = "ic3: NOT(Pub(x, y, z), Paper(y, u, v, w), z > 40, v < 70)"
+
+DELETION_CONSTRAINTS = """
+ic1: NOT(P(x, y), P(x, z), y != z)
+ic2: NOT(P(x, y), T(y, z), z < 5)
+"""
+
+
+def _paper_relation() -> Relation:
+    return Relation(
+        "Paper",
+        [
+            Attribute.hard("id"),
+            Attribute.flexible("ef", weight=1.0),
+            Attribute.flexible("prc", weight=1.0 / 20),
+            Attribute.flexible("cf", weight=1.0 / 2),
+        ],
+        key=["id"],
+    )
+
+
+def paper_example() -> Workload:
+    """Examples 1.1 / 2.3: the environmentally-friendly paper table."""
+    schema = Schema([_paper_relation()])
+    instance = DatabaseInstance.from_rows(
+        schema,
+        {"Paper": [("B1", 1, 40, 0), ("C2", 1, 20, 1), ("E3", 1, 70, 1)]},
+    )
+    return Workload(
+        name="paper-example-1.1",
+        schema=schema,
+        instance=instance,
+        constraints=tuple(parse_denials(PAPER_CONSTRAINTS)),
+    )
+
+
+def paper_pub_example() -> Workload:
+    """Examples 2.5 / 3.3: Paper + Pub with the join constraint ic₃."""
+    schema = Schema(
+        [
+            _paper_relation(),
+            Relation(
+                "Pub",
+                [
+                    Attribute.hard("id"),
+                    Attribute.hard("pid"),
+                    Attribute.flexible("pag", weight=1.0 / 10),
+                ],
+                key=["id"],
+            ),
+        ]
+    )
+    instance = DatabaseInstance.from_rows(
+        schema,
+        {
+            "Paper": [("B1", 1, 40, 0), ("C2", 1, 20, 1), ("E3", 1, 70, 1)],
+            "Pub": [(235, "B1", 45), (112, "B1", 30), (100, "E3", 80)],
+        },
+    )
+    return Workload(
+        name="paper-example-3.3",
+        schema=schema,
+        instance=instance,
+        constraints=tuple(parse_denials(PAPER_CONSTRAINTS + PUB_CONSTRAINT)),
+    )
+
+
+def deletion_example() -> Workload:
+    """Example 5.4: the P/T database for cardinality (deletion) repairs.
+
+    Note the constraints here are *not* local on the original schema (ic₁
+    joins on a flexible-free relation with a ``≠`` between value columns),
+    which is exactly the paper's point: the δ transformation makes them
+    local and needs no primary keys.
+    """
+    schema = Schema(
+        [
+            Relation(
+                "P",
+                [Attribute.hard("a"), Attribute.hard("b")],
+                key=["a", "b"],
+            ),
+            Relation(
+                "T",
+                [Attribute.hard("c"), Attribute.hard("d")],
+                key=["c", "d"],
+            ),
+        ]
+    )
+    instance = DatabaseInstance.from_rows(
+        schema,
+        {"P": [(1, "b"), (1, "c"), (2, "e")], "T": [("e", 4)]},
+    )
+    return Workload(
+        name="paper-example-5.4",
+        schema=schema,
+        instance=instance,
+        constraints=tuple(parse_denials(DELETION_CONSTRAINTS)),
+    )

@@ -1,0 +1,104 @@
+"""Unit tests for analytics and the text reporting helpers."""
+
+import pytest
+
+from repro import SetCoverError, build_repair_problem
+from repro.analysis import (
+    approximation_ratio,
+    compare_algorithms,
+    format_series,
+    format_table,
+)
+from repro.analysis.report import Table
+from repro.setcover.result import Cover
+
+
+class TestApproximationRatio:
+    def test_basic(self):
+        approx = Cover((0,), 3.0, "greedy")
+        optimal = Cover((1,), 2.0, "exact")
+        assert approximation_ratio(approx, optimal) == 1.5
+
+    def test_both_zero(self):
+        zero = Cover((), 0.0, "x")
+        assert approximation_ratio(zero, zero) == 1.0
+
+    def test_zero_optimal_nonzero_approx_raises(self):
+        with pytest.raises(SetCoverError):
+            approximation_ratio(Cover((0,), 1.0, "x"), Cover((), 0.0, "y"))
+
+
+class TestCompareAlgorithms:
+    def test_all_four_algorithms(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        comparison = compare_algorithms(
+            problem,
+            algorithms=("greedy", "modified-greedy", "layer", "modified-layer"),
+        )
+        assert set(comparison.covers) == {
+            "greedy",
+            "modified-greedy",
+            "layer",
+            "modified-layer",
+        }
+        assert comparison.weight("greedy") == comparison.weight("modified-greedy")
+        assert all(s >= 0 for s in comparison.solve_seconds.values())
+
+    def test_with_exact_ratios(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        comparison = compare_algorithms(problem, with_exact=True)
+        assert comparison.optimum is not None
+        assert comparison.ratios["greedy"] >= 1.0
+        # the paper's observation: greedy is at least as good as layer here.
+        assert comparison.weight("greedy") <= comparison.weight("layer")
+
+    def test_exact_skipped_for_large_universes(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        comparison = compare_algorithms(problem, with_exact=True, exact_max_elements=1)
+        assert comparison.optimum is None
+        assert comparison.ratios == {}
+
+    def test_best_algorithm(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        comparison = compare_algorithms(problem)
+        assert comparison.best_algorithm() == "greedy"
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "title", ["alg", "weight"], [["greedy", 1.5], ["layer", 12.25]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "alg" in lines[1] and "weight" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_row_arity_checked(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_number_formats(self):
+        text = format_table("t", ["v"], [[0.12345], [1234.5], [3.5], [0.0]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+        assert "3.50" in text
+
+    def test_format_series(self):
+        text = format_series(
+            "runtime",
+            "size",
+            {
+                "greedy": {100: 1.0, 200: 4.0},
+                "modified": {100: 0.5, 200: 1.0},
+            },
+        )
+        lines = text.splitlines()
+        assert "size" in lines[1]
+        assert "greedy" in lines[1] and "modified" in lines[1]
+        assert len(lines) == 5          # title, header, rule, two x rows
+
+    def test_format_series_missing_points_are_nan(self):
+        text = format_series("t", "x", {"a": {1: 1.0}, "b": {2: 2.0}})
+        assert "nan" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the explanation API."""
+
+import pytest
+
+from repro import repair_database
+from repro.analysis import explain_repair, explain_tuple
+from repro.repair import build_repair_problem
+
+
+class TestExplainTuple:
+    def test_degree_and_violations(self, paper_pub):
+        explanation = explain_tuple(
+            paper_pub.instance, paper_pub.constraints, "Paper", ("B1",)
+        )
+        assert explanation.degree == 3
+        names = sorted(v.constraint.name for v in explanation.violations)
+        assert names == ["ic1", "ic2", "ic3"]
+
+    def test_candidates_match_example_33(self, paper_pub):
+        explanation = explain_tuple(
+            paper_pub.instance, paper_pub.constraints, "Paper", ("B1",)
+        )
+        fixes = {
+            (c.attribute, c.new_value): c.weight for c in explanation.candidates
+        }
+        assert fixes == {
+            ("ef", 0): pytest.approx(1.0),
+            ("prc", 50): pytest.approx(0.5),
+            ("prc", 70): pytest.approx(1.5),
+            ("cf", 1): pytest.approx(0.5),
+        }
+
+    def test_consistent_tuple(self, paper_pub):
+        explanation = explain_tuple(
+            paper_pub.instance, paper_pub.constraints, "Paper", ("E3",)
+        )
+        assert explanation.degree == 0
+        assert explanation.candidates == ()
+
+    def test_prebuilt_problem_reused(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        explanation = explain_tuple(
+            paper_pub.instance,
+            paper_pub.constraints,
+            "Pub",
+            (235,),
+            problem=problem,
+        )
+        assert explanation.degree == 1
+        assert len(explanation.candidates) == 1
+
+    def test_summary_renders(self, paper_pub):
+        text = explain_tuple(
+            paper_pub.instance, paper_pub.constraints, "Paper", ("B1",)
+        ).summary()
+        assert "degree 3" in text
+        assert "candidate fixes" in text
+        assert "ic3" in text
+
+
+class TestExplainRepair:
+    def test_every_change_covers_something(self, paper_pub):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        explanations = explain_repair(
+            paper_pub.instance, paper_pub.constraints, result
+        )
+        assert len(explanations) == len(result.changes)
+        for explanation in explanations:
+            assert explanation.covered
+
+    def test_union_of_coverage_is_all_violations(self, paper_pub):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        explanations = explain_repair(
+            paper_pub.instance, paper_pub.constraints, result
+        )
+        covered = set()
+        for explanation in explanations:
+            for violation in explanation.covered:
+                covered.add(
+                    (violation.constraint.name, frozenset(t.ref for t in violation))
+                )
+        assert len(covered) == result.violations_before
+
+    def test_summaries_render(self, paper_pub):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        for explanation in explain_repair(
+            paper_pub.instance, paper_pub.constraints, result
+        ):
+            assert "covering" in explanation.summary()

@@ -1,0 +1,119 @@
+"""Unit tests for ground-truth repair scoring."""
+
+import pytest
+
+from repro import is_consistent, repair_database
+from repro.analysis import score_repair
+from repro.analysis.quality import RepairScore
+from repro.workloads import census_workload, corrupt
+
+
+@pytest.fixture
+def scenario():
+    truth = census_workload(80, household_size=3, dirty_ratio=0.0, seed=1)
+    corruption = corrupt(
+        truth.instance, truth.constraints, cell_rate=0.1, max_offset=60, seed=2
+    )
+    result = repair_database(corruption.dirty, truth.constraints)
+    return truth, corruption, result
+
+
+class TestScoreRepair:
+    def test_repair_restores_consistency(self, scenario):
+        truth, _corruption, result = scenario
+        assert is_consistent(result.repaired, truth.constraints)
+
+    def test_precision_is_perfect_for_minimal_repairs(self, scenario):
+        # a minimal repair only touches cells participating in violations,
+        # and on a clean-then-corrupted database every violation involves
+        # a corrupted cell of the same tuple... but the repair may fix a
+        # different attribute of a violating tuple, so precision can drop
+        # below 1; it must never exceed 1.
+        _truth, corruption, result = scenario
+        score = score_repair(corruption, result)
+        assert 0.0 <= score.precision <= 1.0
+
+    def test_recall_counts_detected_errors(self, scenario):
+        _truth, corruption, result = scenario
+        score = score_repair(corruption, result)
+        assert 0.0 <= score.recall <= 1.0
+        assert score.true_positives <= score.corrupted_cells
+        assert score.true_positives <= score.changed_cells
+
+    def test_distances_ordered(self, scenario):
+        _truth, corruption, result = scenario
+        score = score_repair(corruption, result)
+        # repairing moves toward the truth on this workload.
+        assert score.repaired_distance <= score.dirty_distance + 1e-9
+        assert 0.0 <= score.distance_reduction <= 1.0
+
+    def test_recall_grows_with_error_magnitude(self):
+        truth = census_workload(120, household_size=3, dirty_ratio=0.0, seed=3)
+        recalls = []
+        for max_offset in (10, 120):
+            corruption = corrupt(
+                truth.instance,
+                truth.constraints,
+                cell_rate=0.08,
+                max_offset=max_offset,
+                seed=4,
+            )
+            result = repair_database(corruption.dirty, truth.constraints)
+            recalls.append(score_repair(corruption, result).recall)
+        assert recalls[1] > recalls[0]
+
+    def test_summary_renders(self, scenario):
+        _truth, corruption, result = scenario
+        text = score_repair(corruption, result).summary()
+        assert "precision=" in text and "recovered" in text
+
+
+class TestScoreEdgeCases:
+    def _score(self, **kwargs):
+        defaults = dict(
+            changed_cells=0,
+            corrupted_cells=0,
+            true_positives=0,
+            exact_restorations=0,
+            dirty_distance=0.0,
+            repaired_distance=0.0,
+        )
+        defaults.update(kwargs)
+        return RepairScore(**defaults)
+
+    def test_nothing_to_do(self):
+        score = self._score()
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+        assert score.value_accuracy == 1.0
+        assert score.distance_reduction == 1.0
+
+    def test_all_misses(self):
+        score = self._score(
+            changed_cells=5, corrupted_cells=5, dirty_distance=10.0,
+            repaired_distance=10.0,
+        )
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+        assert score.value_accuracy == 0.0
+        assert score.distance_reduction == 0.0
+
+    def test_partial(self):
+        score = self._score(
+            changed_cells=4,
+            corrupted_cells=8,
+            true_positives=2,
+            exact_restorations=1,
+            dirty_distance=10.0,
+            repaired_distance=5.0,
+        )
+        assert score.precision == 0.5
+        assert score.recall == 0.25
+        assert score.value_accuracy == 0.5
+        assert score.distance_reduction == 0.5
+
+    def test_negative_reduction_possible(self):
+        score = self._score(dirty_distance=10.0, repaired_distance=15.0)
+        assert score.distance_reduction == -0.5

@@ -1,0 +1,126 @@
+"""Unit tests for cardinality repairs (Section 5, Example 5.4)."""
+
+import pytest
+
+from repro import cardinality_repair, is_consistent
+from repro.workloads.clientbuy import client_buy_workload
+
+ALGORITHMS = ["greedy", "modified-greedy", "layer", "modified-layer", "exact"]
+
+
+class TestExample54:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_two_deletions_suffice(self, deletion_demo, algorithm):
+        """The paper's four optimal repairs all delete exactly 2 tuples."""
+        result = cardinality_repair(
+            deletion_demo.instance, deletion_demo.constraints, algorithm=algorithm
+        )
+        assert result.deletions == 2
+        assert is_consistent(result.repaired, deletion_demo.constraints)
+
+    def test_exact_result_is_one_of_the_four_repairs(self, deletion_demo):
+        result = cardinality_repair(
+            deletion_demo.instance, deletion_demo.constraints, algorithm="exact"
+        )
+        kept = {
+            (r, t)
+            for r in ("P", "T")
+            for t in (tuple(x.values) for x in result.repaired.tuples(r))
+        }
+        expected_repairs = [
+            {("P", (1, "c")), ("T", ("e", 4))},   # D1
+            {("P", (1, "b")), ("T", ("e", 4))},   # D2
+            {("P", (1, "c")), ("P", (2, "e"))},   # D3
+            {("P", (1, "b")), ("P", (2, "e"))},   # D4
+        ]
+        assert kept in expected_repairs
+
+    def test_weighted_cost_equals_count_by_default(self, deletion_demo):
+        result = cardinality_repair(
+            deletion_demo.instance, deletion_demo.constraints, algorithm="exact"
+        )
+        assert result.weighted_cost == pytest.approx(result.deletions)
+
+    def test_no_keys_or_locality_needed(self, deletion_demo):
+        """Section 5: the original ICs are not local (≠ join on values)."""
+        from repro import is_local_set
+
+        assert not is_local_set(deletion_demo.constraints, deletion_demo.schema)
+        # ... yet the cardinality repair works.
+        result = cardinality_repair(deletion_demo.instance, deletion_demo.constraints)
+        assert is_consistent(result.repaired, deletion_demo.constraints)
+
+
+class TestWeightedDeletions:
+    def test_prefer_cheap_table(self, deletion_demo):
+        """Conclusion: alpha_P < alpha_T biases deletions towards P."""
+        result = cardinality_repair(
+            deletion_demo.instance,
+            deletion_demo.constraints,
+            algorithm="exact",
+            table_weights={"P": 0.4, "T": 1.0},
+        )
+        assert all(t.relation.name == "P" for t in result.deleted)
+        assert is_consistent(result.repaired, deletion_demo.constraints)
+
+    def test_prefer_other_table(self, deletion_demo):
+        """With deletions from T cheap, the T tuple goes instead of P(2,e)."""
+        result = cardinality_repair(
+            deletion_demo.instance,
+            deletion_demo.constraints,
+            algorithm="exact",
+            table_weights={"P": 1.0, "T": 0.1},
+        )
+        deleted_relations = sorted(t.relation.name for t in result.deleted)
+        assert "T" in deleted_relations
+        assert is_consistent(result.repaired, deletion_demo.constraints)
+
+
+class TestMixedMode:
+    def test_updates_win_when_cheap(self, paper):
+        """With expensive deletions, mixed mode reduces to value updates."""
+        result = cardinality_repair(
+            paper.instance,
+            paper.constraints,
+            algorithm="exact",
+            mode="mixed",
+            table_weights={"Paper": 100.0},
+        )
+        assert result.deletions == 0
+        assert is_consistent(result.repaired, paper.constraints)
+        # same optimum as the plain attribute-update repair.
+        assert result.inner.distance == pytest.approx(2.0)
+
+    def test_deletions_win_when_cheap(self, paper):
+        """With deletion cost below any value fix, tuples get deleted."""
+        result = cardinality_repair(
+            paper.instance,
+            paper.constraints,
+            algorithm="exact",
+            mode="mixed",
+            table_weights={"Paper": 0.1},
+        )
+        assert result.deletions == 2          # drop t1 and t2
+        assert is_consistent(result.repaired, paper.constraints)
+
+    def test_mixed_on_workload(self, small_clientbuy):
+        result = cardinality_repair(
+            small_clientbuy.instance,
+            small_clientbuy.constraints,
+            mode="mixed",
+            table_weights={"Client": 5.0, "Buy": 5.0},
+        )
+        assert is_consistent(result.repaired, small_clientbuy.constraints)
+
+
+class TestScaling:
+    def test_clientbuy_deletion_repair(self):
+        workload = client_buy_workload(40, inconsistency_ratio=0.5, seed=9)
+        result = cardinality_repair(workload.instance, workload.constraints)
+        assert is_consistent(result.repaired, workload.constraints)
+        assert 0 < result.deletions < len(workload.instance)
+
+    def test_summary_renders(self, deletion_demo):
+        result = cardinality_repair(deletion_demo.instance, deletion_demo.constraints)
+        text = result.summary()
+        assert "deletions: 2" in text

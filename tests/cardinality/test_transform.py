@@ -1,0 +1,137 @@
+"""Unit tests for the δ transformation (Definitions 5.1 and 5.2)."""
+
+import pytest
+
+from repro import SchemaError, is_local_set
+from repro.cardinality.transform import build_delta_transform, project_delta
+
+
+class TestBuildTransform:
+    def test_delta_attribute_added_and_flexible(self, deletion_demo):
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        p = transform.schema.relation("P")
+        assert p.attribute_names == ("a", "b", "delta")
+        assert p.attribute("delta").is_flexible
+        assert transform.delta_names == {"P": "delta", "T": "delta"}
+
+    def test_delete_mode_key_is_all_original_attributes(self, deletion_demo):
+        """Definition 5.1: K_{R#} = A_R \\ δ_R."""
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        assert transform.schema.relation("P").key == ("a", "b")
+        assert transform.schema.relation("T").key == ("c", "d")
+
+    def test_delete_mode_original_flexibles_become_hard(self, paper):
+        transform = build_delta_transform(paper.instance, paper.constraints)
+        relation = transform.schema.relation("Paper")
+        assert [a.name for a in relation.flexible_attributes] == ["delta"]
+
+    def test_mixed_mode_keeps_original_key_and_flexibles(self, paper):
+        transform = build_delta_transform(
+            paper.instance, paper.constraints, mode="mixed"
+        )
+        relation = transform.schema.relation("Paper")
+        assert relation.key == ("id",)
+        assert {a.name for a in relation.flexible_attributes} == {
+            "ef",
+            "prc",
+            "cf",
+            "delta",
+        }
+
+    def test_deltas_filled_with_ones(self, deletion_demo):
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        assert all(
+            t["delta"] == 1 for t in transform.instance.all_tuples()
+        )
+        assert len(transform.instance) == len(deletion_demo.instance)
+
+    def test_constraints_get_delta_guards(self, deletion_demo):
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        ic1 = transform.constraints[0]
+        # each atom occurrence got its own delta variable and a '> 0' guard.
+        assert len(ic1.relation_atoms[0].variables) == 3
+        delta_guards = [
+            b for b in ic1.builtins if b.variable.startswith("d") and b.constant == 0
+        ]
+        assert len(delta_guards) == 2
+        assert ic1.name == "ic1#"
+
+    def test_transformed_set_is_local(self, deletion_demo):
+        """The note after Definition 5.1: IC# is always local."""
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        assert is_local_set(transform.constraints, transform.schema)
+
+    def test_delta_name_collision_avoided(self):
+        from repro import Attribute, DatabaseInstance, Relation, Schema, parse_denial
+
+        schema = Schema(
+            [
+                Relation(
+                    "R",
+                    [Attribute.hard("k"), Attribute.hard("delta")],
+                    key=["k"],
+                )
+            ]
+        )
+        instance = DatabaseInstance.from_rows(schema, {"R": [(1, "x")]})
+        constraint = parse_denial("NOT(R(k, d), k > 100)")
+        transform = build_delta_transform(instance, [constraint])
+        assert transform.delta_names["R"] == "delta_"
+
+    def test_table_weights_applied(self, deletion_demo):
+        transform = build_delta_transform(
+            deletion_demo.instance,
+            deletion_demo.constraints,
+            table_weights={"P": 0.5},
+        )
+        assert transform.schema.weight("P", "delta") == 0.5
+        assert transform.schema.weight("T", "delta") == 1.0
+
+    def test_bad_table_weight_rejected(self, deletion_demo):
+        with pytest.raises(SchemaError):
+            build_delta_transform(
+                deletion_demo.instance,
+                deletion_demo.constraints,
+                table_weights={"P": 0.0},
+            )
+
+    def test_unknown_table_weight_rejected(self, deletion_demo):
+        with pytest.raises(SchemaError):
+            build_delta_transform(
+                deletion_demo.instance,
+                deletion_demo.constraints,
+                table_weights={"Nope": 1.0},
+            )
+
+
+class TestProjectDelta:
+    def test_roundtrip_without_deletions(self, deletion_demo):
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        projected, deleted = project_delta(transform, transform.instance)
+        assert deleted == ()
+        assert projected == deletion_demo.instance
+
+    def test_zero_delta_tuples_dropped(self, deletion_demo):
+        transform = build_delta_transform(
+            deletion_demo.instance, deletion_demo.constraints
+        )
+        modified = transform.instance.copy()
+        victim = modified.get("P", (1, "b"))
+        modified.replace_tuple(victim.replace(delta=0))
+        projected, deleted = project_delta(transform, modified)
+        assert len(deleted) == 1
+        assert deleted[0].values == (1, "b")
+        assert not projected.contains_key("P", (1, "b"))
+        assert projected.count() == len(deletion_demo.instance) - 1

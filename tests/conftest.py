@@ -1,0 +1,49 @@
+"""Shared fixtures: the paper's example databases and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DatabaseInstance
+from repro.workloads import (
+    census_workload,
+    client_buy_workload,
+    deletion_example,
+    paper_example,
+    paper_pub_example,
+)
+
+
+@pytest.fixture
+def paper(request):
+    """Examples 1.1 / 2.3: the Paper table with ic1, ic2."""
+    return paper_example()
+
+
+@pytest.fixture
+def paper_pub():
+    """Examples 2.5 / 3.3: Paper + Pub with the join constraint ic3."""
+    return paper_pub_example()
+
+
+@pytest.fixture
+def deletion_demo():
+    """Example 5.4: the P/T database for cardinality repairs."""
+    return deletion_example()
+
+
+@pytest.fixture
+def small_clientbuy():
+    """A small deterministic Client/Buy workload (fast, ~150 tuples)."""
+    return client_buy_workload(50, inconsistency_ratio=0.4, seed=11)
+
+
+@pytest.fixture
+def small_census():
+    """A small deterministic census workload."""
+    return census_workload(40, household_size=3, dirty_ratio=0.4, seed=5)
+
+
+@pytest.fixture
+def paper_instance(paper) -> DatabaseInstance:
+    return paper.instance

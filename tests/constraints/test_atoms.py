@@ -1,0 +1,126 @@
+"""Unit tests for constraint atoms and comparators."""
+
+import pytest
+
+from repro import BuiltinAtom, Comparator, ConstraintError, RelationAtom, VariableComparison
+
+
+class TestComparator:
+    @pytest.mark.parametrize(
+        "op, left, right, expected",
+        [
+            (Comparator.EQ, 1, 1, True),
+            (Comparator.EQ, 1, 2, False),
+            (Comparator.NE, 1, 2, True),
+            (Comparator.NE, 2, 2, False),
+            (Comparator.LT, 1, 2, True),
+            (Comparator.LT, 2, 2, False),
+            (Comparator.GT, 3, 2, True),
+            (Comparator.GT, 2, 2, False),
+            (Comparator.LE, 2, 2, True),
+            (Comparator.LE, 3, 2, False),
+            (Comparator.GE, 2, 2, True),
+            (Comparator.GE, 1, 2, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+    @pytest.mark.parametrize(
+        "symbol, expected",
+        [
+            ("<", Comparator.LT),
+            (">", Comparator.GT),
+            ("<=", Comparator.LE),
+            (">=", Comparator.GE),
+            ("=", Comparator.EQ),
+            ("==", Comparator.EQ),
+            ("!=", Comparator.NE),
+            ("<>", Comparator.NE),
+        ],
+    )
+    def test_from_symbol(self, symbol, expected):
+        assert Comparator.from_symbol(symbol) is expected
+
+    def test_from_symbol_unknown(self):
+        with pytest.raises(ConstraintError):
+            Comparator.from_symbol("~")
+
+    def test_sql_spelling(self):
+        assert Comparator.NE.sql == "<>"
+        assert Comparator.LE.sql == "<="
+        assert Comparator.EQ.sql == "="
+
+
+class TestRelationAtom:
+    def test_positions_of(self):
+        atom = RelationAtom("R", ("x", "y", "x"))
+        assert atom.positions_of("x") == (0, 2)
+        assert atom.positions_of("y") == (1,)
+        assert atom.positions_of("z") == ()
+
+    def test_str(self):
+        assert str(RelationAtom("R", ("x", "y"))) == "R(x, y)"
+
+    def test_rejects_empty_variables(self):
+        with pytest.raises(ConstraintError):
+            RelationAtom("R", ())
+
+    def test_rejects_bad_variable_name(self):
+        with pytest.raises(ConstraintError):
+            RelationAtom("R", ("x y",))
+
+
+class TestBuiltinAtom:
+    def test_evaluate(self):
+        atom = BuiltinAtom("x", Comparator.LT, 18)
+        assert atom.evaluate(17)
+        assert not atom.evaluate(18)
+
+    def test_rejects_non_integer_constant(self):
+        with pytest.raises(ConstraintError):
+            BuiltinAtom("x", Comparator.LT, 1.5)
+
+    def test_rejects_bool_constant(self):
+        with pytest.raises(ConstraintError):
+            BuiltinAtom("x", Comparator.LT, True)
+
+    def test_normalize_le(self):
+        # footnote 2: x <= c  becomes  x < c+1 over the integers.
+        (normalized,) = BuiltinAtom("x", Comparator.LE, 10).normalized()
+        assert normalized.comparator is Comparator.LT
+        assert normalized.constant == 11
+
+    def test_normalize_ge(self):
+        (normalized,) = BuiltinAtom("x", Comparator.GE, 10).normalized()
+        assert normalized.comparator is Comparator.GT
+        assert normalized.constant == 9
+
+    def test_normalize_strict_is_identity(self):
+        atom = BuiltinAtom("x", Comparator.LT, 10)
+        assert atom.normalized() == (atom,)
+
+    def test_normalize_preserves_semantics(self):
+        for comparator in (Comparator.LE, Comparator.GE):
+            atom = BuiltinAtom("x", comparator, 7)
+            (normalized,) = atom.normalized()
+            for value in range(0, 15):
+                assert atom.evaluate(value) == normalized.evaluate(value)
+
+    def test_str(self):
+        assert str(BuiltinAtom("x", Comparator.GT, 0)) == "x > 0"
+
+
+class TestVariableComparison:
+    def test_evaluate(self):
+        comparison = VariableComparison("x", Comparator.NE, "y")
+        assert comparison.evaluate(1, 2)
+        assert not comparison.evaluate(2, 2)
+
+    def test_only_eq_ne_allowed(self):
+        # linear denials only allow =, != between variables (Section 2).
+        with pytest.raises(ConstraintError):
+            VariableComparison("x", Comparator.LT, "y")
+
+    def test_str(self):
+        assert str(VariableComparison("x", Comparator.EQ, "y")) == "x = y"

@@ -1,0 +1,176 @@
+"""Unit tests for the DenialConstraint model."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    BuiltinAtom,
+    Comparator,
+    ConstraintError,
+    DenialConstraint,
+    Relation,
+    RelationAtom,
+    Schema,
+    Tuple,
+    VariableComparison,
+    parse_denial,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Relation(
+                "Client",
+                [Attribute.hard("id"), Attribute.flexible("a"), Attribute.flexible("c")],
+                key=["id"],
+            ),
+            Relation(
+                "Buy",
+                [Attribute.hard("id"), Attribute.hard("i"), Attribute.flexible("p")],
+                key=["id", "i"],
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def join_ic():
+    """ic1 of the paper's experiments: minors cannot buy above 25."""
+    return parse_denial(
+        "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)", name="ic1"
+    )
+
+
+class TestStructure:
+    def test_variables_in_first_occurrence_order(self, join_ic):
+        assert join_ic.variables == ("id", "i", "p", "a", "c")
+
+    def test_occurrences(self, join_ic):
+        assert join_ic.occurrences("id") == ((0, 0), (1, 0))
+        assert join_ic.occurrences("p") == ((0, 2),)
+        assert join_ic.occurrences("nope") == ()
+
+    def test_join_variables(self, join_ic):
+        assert join_ic.join_variables == {"id"}
+
+    def test_builtin_variables(self, join_ic):
+        assert join_ic.builtin_variables == {"a", "p"}
+
+    def test_relation_names(self, join_ic):
+        assert join_ic.relation_names == ("Buy", "Client")
+
+    def test_needs_at_least_one_database_atom(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint([], [BuiltinAtom("x", Comparator.LT, 1)])
+
+    def test_builtin_variable_must_be_bound(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(
+                [RelationAtom("Client", ("id", "a", "c"))],
+                [BuiltinAtom("zz", Comparator.LT, 18)],
+            )
+
+    def test_variable_comparison_must_be_bound(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(
+                [RelationAtom("Client", ("id", "a", "c"))],
+                [],
+                [VariableComparison("a", Comparator.NE, "zz")],
+            )
+
+    def test_equality_and_hash(self, join_ic):
+        clone = parse_denial(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)", name="other"
+        )
+        assert join_ic == clone          # name not part of identity
+        assert hash(join_ic) == hash(clone)
+
+
+class TestSchemaViews:
+    def test_validate_accepts_good_constraint(self, join_ic, schema):
+        join_ic.validate(schema)
+
+    def test_validate_rejects_arity_mismatch(self, schema):
+        constraint = parse_denial("NOT(Client(id, a), a < 18)")
+        with pytest.raises(ConstraintError):
+            constraint.validate(schema)
+
+    def test_validate_rejects_unknown_relation(self, schema):
+        constraint = parse_denial("NOT(Nope(x), x < 1)")
+        with pytest.raises(Exception):
+            constraint.validate(schema)
+
+    def test_bound_attributes(self, join_ic, schema):
+        assert join_ic.bound_attributes("id", schema) == (
+            ("Buy", "id"),
+            ("Client", "id"),
+        )
+        assert join_ic.bound_attributes("p", schema) == (("Buy", "p"),)
+
+    def test_attributes_in_builtins(self, join_ic, schema):
+        assert join_ic.attributes_in_builtins(schema) == {
+            ("Client", "a"),
+            ("Buy", "p"),
+        }
+
+    def test_comparisons_on_normalizes(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a <= 17, a < 21)")
+        comparisons = constraint.comparisons_on(schema, "Client", "a")
+        assert {(c.comparator, c.constant) for c in comparisons} == {
+            (Comparator.LT, 18),
+            (Comparator.LT, 21),
+        }
+
+    def test_comparisons_on_other_attribute_empty(self, join_ic, schema):
+        assert join_ic.comparisons_on(schema, "Client", "c") == ()
+
+
+class TestEvaluation:
+    def test_evaluate_assignment_true(self, join_ic, schema):
+        buy = Tuple(schema.relation("Buy"), (1, 0, 30))
+        client = Tuple(schema.relation("Client"), (1, 15, 0))
+        assert join_ic.evaluate_assignment([buy, client])
+
+    def test_evaluate_assignment_join_mismatch(self, join_ic, schema):
+        buy = Tuple(schema.relation("Buy"), (1, 0, 30))
+        client = Tuple(schema.relation("Client"), (2, 15, 0))
+        assert not join_ic.evaluate_assignment([buy, client])
+
+    def test_evaluate_assignment_builtin_fails(self, join_ic, schema):
+        buy = Tuple(schema.relation("Buy"), (1, 0, 10))  # p <= 25
+        client = Tuple(schema.relation("Client"), (1, 15, 0))
+        assert not join_ic.evaluate_assignment([buy, client])
+
+    def test_evaluate_assignment_wrong_relation(self, join_ic, schema):
+        client = Tuple(schema.relation("Client"), (1, 15, 0))
+        assert not join_ic.evaluate_assignment([client, client])
+
+    def test_evaluate_assignment_arity_check(self, join_ic, schema):
+        client = Tuple(schema.relation("Client"), (1, 15, 0))
+        with pytest.raises(ConstraintError):
+            join_ic.evaluate_assignment([client])
+
+    def test_violated_by(self, join_ic, schema):
+        buy = Tuple(schema.relation("Buy"), (1, 0, 30))
+        minor = Tuple(schema.relation("Client"), (1, 15, 0))
+        adult = Tuple(schema.relation("Client"), (1, 30, 0))
+        assert join_ic.violated_by([buy, minor])
+        assert not join_ic.violated_by([buy, adult])
+        assert not join_ic.violated_by([buy])          # no Client tuple at all
+        assert not join_ic.violated_by([])
+
+    def test_violated_by_with_variable_comparison(self, schema):
+        constraint = parse_denial("NOT(Client(x, a, c), Client(y, b, d), x != y, a < 18, b < 18)")
+        minor1 = Tuple(schema.relation("Client"), (1, 15, 0))
+        minor2 = Tuple(schema.relation("Client"), (2, 16, 0))
+        assert constraint.violated_by([minor1, minor2])
+        assert not constraint.violated_by([minor1])    # x != y needs two tuples
+
+    def test_str_and_label(self, join_ic):
+        text = str(join_ic)
+        assert "Buy(id, i, p)" in text and "a < 18" in text
+        assert join_ic.label == "ic1"
+        unnamed = parse_denial("NOT(Client(id, a, c), a < 18)")
+        assert "Client" in unnamed.label

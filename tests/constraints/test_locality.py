@@ -1,0 +1,185 @@
+"""Unit tests for the locality conditions (a)-(c) of Section 2."""
+
+import pytest
+
+from repro import Attribute, LocalityError, Relation, Schema, parse_denial, parse_denials
+from repro.constraints.locality import (
+    FixDirection,
+    check_local,
+    check_local_set,
+    comparison_directions,
+    fix_direction,
+    is_local,
+    is_local_set,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Relation(
+                "Client",
+                [Attribute.hard("id"), Attribute.flexible("a"), Attribute.flexible("c")],
+                key=["id"],
+            ),
+            Relation(
+                "Buy",
+                [Attribute.hard("id"), Attribute.hard("i"), Attribute.flexible("p")],
+                key=["id", "i"],
+            ),
+        ]
+    )
+
+
+class TestConditionA:
+    def test_join_on_hard_attribute_ok(self, schema):
+        constraint = parse_denial(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        )
+        check_local(constraint, schema)
+
+    def test_join_on_flexible_attribute_rejected(self, schema):
+        # variable x joins Buy.p (flexible) with Client.a (flexible).
+        constraint = parse_denial("NOT(Buy(id, i, x), Client(id2, x, c), c > 5)")
+        with pytest.raises(LocalityError, match="condition \\(a\\)"):
+            check_local(constraint, schema)
+
+    def test_equality_builtin_on_flexible_rejected(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a = 17, c > 50)")
+        with pytest.raises(LocalityError, match="condition \\(a\\)"):
+            check_local(constraint, schema)
+
+    def test_inequality_builtin_on_flexible_rejected(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a != 17, c > 50)")
+        with pytest.raises(LocalityError, match="condition \\(a\\)"):
+            check_local(constraint, schema)
+
+    def test_equality_builtin_on_hard_ok(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), id = 3, c > 50)")
+        check_local(constraint, schema)
+
+    def test_variable_comparison_on_flexible_rejected(self, schema):
+        constraint = parse_denial(
+            "NOT(Client(x, a, c), Client(y, b, d), a != b, c > 50)"
+        )
+        with pytest.raises(LocalityError, match="condition \\(a\\)"):
+            check_local(constraint, schema)
+
+    def test_repeated_variable_within_atom_is_a_join(self, schema):
+        # 'v' occupies both flexible positions of Client: condition (a).
+        constraint = parse_denial("NOT(Client(id, v, v), v > 50)")
+        with pytest.raises(LocalityError, match="condition \\(a\\)"):
+            check_local(constraint, schema)
+
+
+class TestConditionB:
+    def test_no_flexible_builtin_rejected(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), id = 3)")
+        with pytest.raises(LocalityError, match="condition \\(b\\)"):
+            check_local(constraint, schema)
+
+    def test_flexible_builtin_satisfies(self, schema):
+        check_local(parse_denial("NOT(Client(id, a, c), a < 18)"), schema)
+
+
+class TestConditionC:
+    def test_same_direction_across_set_ok(self, schema):
+        constraints = parse_denials(
+            """
+            NOT(Client(id, a, c), a < 18, c > 50)
+            NOT(Client(id, a, c), a < 21, c > 90)
+            """
+        )
+        check_local_set(constraints, schema)
+
+    def test_conflicting_directions_within_one_ic_rejected(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a < 18, a > 10)")
+        with pytest.raises(LocalityError, match="condition \\(c\\)"):
+            check_local_set([constraint], schema)
+
+    def test_conflicting_directions_across_ics_rejected(self, schema):
+        constraints = parse_denials(
+            """
+            NOT(Client(id, a, c), a < 18)
+            NOT(Client(id, a, c), a > 90)
+            """
+        )
+        with pytest.raises(LocalityError, match="condition \\(c\\)"):
+            check_local_set(constraints, schema)
+
+    def test_le_ge_normalization_feeds_condition_c(self, schema):
+        # a <= 17 is a '<' and a >= 90 is a '>': still a conflict.
+        constraints = parse_denials(
+            """
+            NOT(Client(id, a, c), a <= 17)
+            NOT(Client(id, a, c), a >= 90)
+            """
+        )
+        with pytest.raises(LocalityError, match="condition \\(c\\)"):
+            check_local_set(constraints, schema)
+
+    def test_hard_attribute_directions_do_not_conflict(self):
+        # condition (c) is about flexible attributes: hard ones are never
+        # fixed, so mixed directions on them are harmless.
+        schema = Schema(
+            [
+                Relation(
+                    "R",
+                    [Attribute.hard("k"), Attribute.hard("h"), Attribute.flexible("v")],
+                    key=["k"],
+                )
+            ]
+        )
+        constraints = parse_denials(
+            """
+            NOT(R(k, h, v), h < 5, v > 10)
+            NOT(R(k, h, v), h > 9, v > 20)
+            """
+        )
+        check_local_set(constraints, schema)
+
+
+class TestHelpers:
+    def test_is_local_true(self, schema):
+        assert is_local(
+            parse_denial("NOT(Client(id, a, c), a < 18, c > 50)"), schema
+        )
+
+    def test_is_local_false(self, schema):
+        assert not is_local(parse_denial("NOT(Client(id, a, c), a = 17)"), schema)
+
+    def test_is_local_set(self, schema):
+        good = parse_denials("NOT(Client(id, a, c), a < 18)")
+        bad = parse_denials(
+            "NOT(Client(id, a, c), a < 18)\nNOT(Client(id, a, c), a > 80)"
+        )
+        assert is_local_set(good, schema)
+        assert not is_local_set(bad, schema)
+
+    def test_comparison_directions(self, schema):
+        constraints = parse_denials(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        )
+        directions = comparison_directions(constraints, schema)
+        assert directions[("Client", "a")] == {FixDirection.UP}
+        assert directions[("Buy", "p")] == {FixDirection.DOWN}
+
+    def test_fix_direction(self, schema):
+        constraints = parse_denials(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        )
+        assert fix_direction(constraints, schema, "Client", "a") is FixDirection.UP
+        assert fix_direction(constraints, schema, "Buy", "p") is FixDirection.DOWN
+        assert fix_direction(constraints, schema, "Client", "c") is None
+
+    def test_fix_direction_conflict_raises(self, schema):
+        constraints = parse_denials(
+            "NOT(Client(id, a, c), a < 18)\nNOT(Client(id, a, c), a > 80)"
+        )
+        with pytest.raises(LocalityError):
+            fix_direction(constraints, schema, "Client", "a")
+
+    def test_paper_constraint_sets_are_local(self, paper, paper_pub):
+        assert is_local_set(paper.constraints, paper.schema)
+        assert is_local_set(paper_pub.constraints, paper_pub.schema)

@@ -1,0 +1,140 @@
+"""Unit tests for the denial-constraint DSL parser."""
+
+import pytest
+
+from repro import Comparator, ConstraintParseError, parse_denial, parse_denials
+
+
+class TestParseDenial:
+    def test_simple_constraint(self):
+        constraint = parse_denial("NOT(Paper(x, y, z, w), y > 0, z < 50)")
+        assert len(constraint.relation_atoms) == 1
+        assert constraint.relation_atoms[0].relation_name == "Paper"
+        assert constraint.relation_atoms[0].variables == ("x", "y", "z", "w")
+        assert len(constraint.builtins) == 2
+
+    def test_without_not_wrapper(self):
+        constraint = parse_denial("Paper(x, y), y > 0")
+        assert len(constraint.relation_atoms) == 1
+        assert len(constraint.builtins) == 1
+
+    def test_bare_paren_wrapper(self):
+        constraint = parse_denial("(Paper(x, y), y > 0)")
+        assert len(constraint.builtins) == 1
+
+    def test_lowercase_not(self):
+        constraint = parse_denial("not(Paper(x, y), y > 0)")
+        assert len(constraint.relation_atoms) == 1
+
+    def test_join_constraint(self):
+        constraint = parse_denial(
+            "NOT(Pub(x, y, z), Paper(y, u, v, w), z > 40, v < 70)"
+        )
+        assert [a.relation_name for a in constraint.relation_atoms] == [
+            "Pub",
+            "Paper",
+        ]
+        assert constraint.join_variables == {"y"}
+
+    def test_variable_comparison(self):
+        constraint = parse_denial("NOT(P(x, y), P(x, z), y != z)")
+        assert len(constraint.variable_comparisons) == 1
+        comparison = constraint.variable_comparisons[0]
+        assert (comparison.left, comparison.right) == ("y", "z")
+        assert comparison.comparator is Comparator.NE
+
+    def test_name_prefix(self):
+        constraint = parse_denial("my_ic: NOT(P(x), x < 1)")
+        assert constraint.name == "my_ic"
+
+    def test_name_argument(self):
+        constraint = parse_denial("NOT(P(x), x < 1)", name="given")
+        assert constraint.name == "given"
+
+    def test_name_prefix_wins_over_argument(self):
+        constraint = parse_denial("inline: NOT(P(x), x < 1)", name="given")
+        assert constraint.name == "inline"
+
+    def test_negative_constants(self):
+        constraint = parse_denial("NOT(P(x), x < -5)")
+        assert constraint.builtins[0].constant == -5
+
+    @pytest.mark.parametrize("op, expected", [
+        ("<", Comparator.LT), (">", Comparator.GT),
+        ("<=", Comparator.LE), (">=", Comparator.GE),
+        ("=", Comparator.EQ), ("!=", Comparator.NE), ("<>", Comparator.NE),
+    ])
+    def test_all_operators(self, op, expected):
+        constraint = parse_denial(f"NOT(P(x), x {op} 3)")
+        assert constraint.builtins[0].comparator is expected
+
+    def test_whitespace_insensitive(self):
+        a = parse_denial("NOT(P(x,y),x<1,y>2)")
+        b = parse_denial("NOT( P( x , y ) , x < 1 , y > 2 )")
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x), x < 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x), x < 1) extra")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x), x < 1) @")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x), x <)")
+
+    def test_float_constant_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x), x < 1.5)")
+
+    def test_lone_name_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x), y)")
+
+
+class TestParseDenials:
+    def test_multiline_program(self):
+        constraints = parse_denials(
+            """
+            # minors cannot buy expensive items
+            ic1: NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)
+
+            ic2: NOT(Client(id, a, c), a < 18, c > 50)
+            """
+        )
+        assert [c.name for c in constraints] == ["ic1", "ic2"]
+
+    def test_auto_naming(self):
+        constraints = parse_denials("NOT(P(x), x < 1)\nNOT(P(x), x < 2)")
+        assert [c.name for c in constraints] == ["ic1", "ic2"]
+
+    def test_auto_naming_mixed_with_explicit(self):
+        constraints = parse_denials("age: NOT(P(x), x < 1)\nNOT(P(x), x < 2)")
+        assert [c.name for c in constraints] == ["age", "ic2"]
+
+    def test_inline_comments(self):
+        constraints = parse_denials("NOT(P(x), x < 1)  # trailing comment")
+        assert len(constraints) == 1
+
+    def test_accepts_iterable_of_lines(self):
+        constraints = parse_denials(["NOT(P(x), x < 1)", "NOT(P(x), x > 9)"])
+        assert len(constraints) == 2
+
+    def test_empty_program(self):
+        assert parse_denials("") == []
+
+    def test_roundtrip_through_str(self):
+        source = "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        constraint = parse_denial(source)
+        reparsed = parse_denial(str(constraint))
+        assert reparsed == constraint

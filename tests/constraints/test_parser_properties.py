@@ -1,0 +1,86 @@
+"""Property-based tests for the constraint DSL (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.atoms import (
+    BuiltinAtom,
+    Comparator,
+    RelationAtom,
+    VariableComparison,
+)
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.parser import parse_denial
+
+_names = st.sampled_from(["R", "S", "Buy", "Client", "T2"])
+_variables = st.sampled_from(["x", "y", "z", "id", "a", "b", "v_1"])
+_comparators = st.sampled_from(list(Comparator))
+_eq_ne = st.sampled_from([Comparator.EQ, Comparator.NE])
+
+
+@st.composite
+def constraints(draw):
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n_atoms):
+        arity = draw(st.integers(1, 4))
+        atoms.append(
+            RelationAtom(
+                draw(_names),
+                tuple(draw(_variables) for _ in range(arity)),
+            )
+        )
+    bound = {v for atom in atoms for v in atom.variables}
+    bound_variables = st.sampled_from(sorted(bound))
+    builtins = tuple(
+        BuiltinAtom(
+            draw(bound_variables),
+            draw(_comparators),
+            draw(st.integers(-1000, 1000)),
+        )
+        for _ in range(draw(st.integers(0, 3)))
+    )
+    comparisons = tuple(
+        VariableComparison(
+            draw(bound_variables), draw(_eq_ne), draw(bound_variables)
+        )
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return DenialConstraint(atoms, builtins, comparisons)
+
+
+@given(constraints())
+@settings(max_examples=200, deadline=None)
+def test_str_parse_roundtrip(constraint):
+    """Rendering a constraint and re-parsing it yields the same constraint."""
+    assert parse_denial(str(constraint)) == constraint
+
+
+@given(constraints())
+@settings(max_examples=100, deadline=None)
+def test_structure_invariants(constraint):
+    # every builtin variable is bound.
+    for builtin in constraint.builtins:
+        assert constraint.occurrences(builtin.variable)
+    # join variables occur at least twice.
+    for variable in constraint.join_variables:
+        assert len(constraint.occurrences(variable)) >= 2
+    # variables enumerates exactly the bound names, in first-seen order.
+    seen = []
+    for atom in constraint.relation_atoms:
+        for variable in atom.variables:
+            if variable not in seen:
+                seen.append(variable)
+    assert list(constraint.variables) == seen
+
+
+@given(constraints())
+@settings(max_examples=100, deadline=None)
+def test_normalization_preserves_builtin_semantics(constraint):
+    for builtin in constraint.builtins:
+        for normalized in builtin.normalized():
+            for value in range(
+                builtin.constant - 3, builtin.constant + 4
+            ):
+                assert builtin.evaluate(value) == normalized.evaluate(value)

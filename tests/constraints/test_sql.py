@@ -1,0 +1,116 @@
+"""Unit tests for SQL violation-view compilation (Algorithm 2 / Example 3.6)."""
+
+import sqlite3
+
+import pytest
+
+from repro import parse_denial
+from repro.constraints.sql import violation_query
+from repro.workloads import paper_pub_example
+from repro.workloads.clientbuy import client_buy_schema
+
+
+@pytest.fixture
+def schema():
+    return client_buy_schema()
+
+
+class TestSqlGeneration:
+    def test_single_atom_query(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a < 18, c > 50)")
+        compiled = violation_query(constraint, schema)
+        assert compiled.sql == (
+            "SELECT r0.id FROM Client r0 WHERE r0.a < 18 AND r0.c > 50"
+        )
+        assert compiled.atoms[0].relation_name == "Client"
+        assert compiled.atoms[0].key_columns == (0,)
+
+    def test_join_query(self, schema):
+        constraint = parse_denial(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        )
+        compiled = violation_query(constraint, schema)
+        assert "FROM Buy r0, Client r1" in compiled.sql
+        assert "r0.id = r1.id" in compiled.sql
+        assert "r1.a < 18" in compiled.sql
+        assert "r0.p > 25" in compiled.sql
+        # Buy has a composite key (id, i); Client key is id.
+        assert compiled.atoms[0].key_columns == (0, 1)
+        assert compiled.atoms[1].key_columns == (2,)
+
+    def test_le_ge_rendered_verbatim(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a <= 17)")
+        compiled = violation_query(constraint, schema)
+        assert "r0.a <= 17" in compiled.sql
+
+    def test_ne_rendered_as_sql(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), id != 3, a < 18)")
+        compiled = violation_query(constraint, schema)
+        assert "r0.id <> 3" in compiled.sql
+
+    def test_variable_comparison(self, schema):
+        constraint = parse_denial(
+            "NOT(Client(x, a, c), Client(y, b, d), x != y, a < 18, b < 18)"
+        )
+        compiled = violation_query(constraint, schema)
+        assert "r0.id <> r1.id" in compiled.sql
+
+
+class TestSqlSemantics:
+    """The SQL views and the in-memory detector must agree."""
+
+    def _run(self, sql, tables):
+        connection = sqlite3.connect(":memory:")
+        for ddl, rows in tables:
+            connection.execute(ddl)
+            placeholders = ",".join("?" for _ in rows[0]) if rows else ""
+            if rows:
+                connection.executemany(
+                    f"INSERT INTO {ddl.split()[2]} VALUES ({placeholders})", rows
+                )
+        return connection.execute(sql).fetchall()
+
+    def test_example_36_rows(self):
+        """Example 3.6: SELECT ... FROM Paper WHERE Y>0 AND Z<50."""
+        workload = paper_pub_example()
+        constraint = workload.constraints[0]  # ic1
+        compiled = violation_query(constraint, workload.schema)
+        rows = self._run(
+            compiled.sql,
+            [
+                (
+                    "CREATE TABLE Paper (id, ef, prc, cf)",
+                    [t.values for t in workload.instance.tuples("Paper")],
+                )
+            ],
+        )
+        assert sorted(r[0] for r in rows) == ["B1", "C2"]
+
+    def test_join_view_matches_paper_example(self):
+        workload = paper_pub_example()
+        constraint = workload.constraints[2]  # ic3 joins Pub and Paper
+        compiled = violation_query(constraint, workload.schema)
+        rows = self._run(
+            compiled.sql,
+            [
+                (
+                    "CREATE TABLE Pub (id, pid, pag)",
+                    [t.values for t in workload.instance.tuples("Pub")],
+                ),
+                (
+                    "CREATE TABLE Paper (id, ef, prc, cf)",
+                    [t.values for t in workload.instance.tuples("Paper")],
+                ),
+            ],
+        )
+        # the only ic3 violation pairs Pub 235 with Paper B1.
+        assert rows == [(235, "B1")]
+
+    def test_consistent_data_yields_empty_view(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a < 18, c > 50)")
+        compiled = violation_query(constraint, schema)
+        rows = self._run(
+            compiled.sql,
+            [("CREATE TABLE Client (id, a, c)", [(1, 30, 10), (2, 40, 80)])],
+        )
+        assert rows == []

@@ -1,0 +1,83 @@
+"""Tests for materialized violation views (Algorithm 2's literal form)."""
+
+import pytest
+
+from repro import parse_denial, repair_database
+from repro.constraints.sql import view_name, violation_view_ddl
+from repro.storage import ExportMode, SqliteBackend
+from repro.workloads import paper_pub_example
+
+
+class TestViewNames:
+    def test_named_constraint(self):
+        constraint = parse_denial("my_rule: NOT(R(x), x < 5)")
+        assert view_name(constraint) == "my_rule_violations"
+
+    def test_unnamed_constraint_uses_index(self):
+        constraint = parse_denial("NOT(R(x), x < 5)")
+        assert view_name(constraint, 3) == "ic3_violations"
+
+    def test_hostile_characters_sanitized(self):
+        constraint = parse_denial("NOT(R(x), x < 5)", name="weird-name; drop")
+        name = view_name(constraint)
+        assert all(c.isalnum() or c == "_" for c in name)
+
+    def test_leading_digit_prefixed(self):
+        constraint = parse_denial("NOT(R(x), x < 5)")
+        object.__setattr__(constraint, "name", "1bad")
+        assert view_name(constraint).startswith("ic_")
+
+
+class TestDdl:
+    def test_ddl_shape(self):
+        workload = paper_pub_example()
+        ddl = violation_view_ddl(workload.constraints[0], workload.schema)
+        assert ddl.startswith("CREATE VIEW ic1_violations AS SELECT")
+        assert "WHERE" in ddl
+
+
+class TestSqliteViews:
+    @pytest.fixture
+    def backend(self):
+        workload = paper_pub_example()
+        backend = SqliteBackend.from_instance(workload.instance)
+        names = backend.create_violation_views(
+            workload.schema, workload.constraints
+        )
+        return workload, backend, names
+
+    def test_views_created(self, backend):
+        _workload, db, names = backend
+        assert names == (
+            "ic1_violations",
+            "ic2_violations",
+            "ic3_violations",
+        )
+
+    def test_views_show_violations(self, backend):
+        _workload, db, _names = backend
+        rows = db.execute("SELECT * FROM ic1_violations")
+        assert sorted(r[0] for r in rows) == ["B1", "C2"]
+        rows = db.execute("SELECT * FROM ic3_violations")
+        assert rows == [(235, "B1")]
+
+    def test_views_empty_after_repair(self, backend):
+        workload, db, names = backend
+        result = repair_database(workload.instance, workload.constraints)
+        db.export_repair(result, ExportMode.UPDATE)
+        for name in names:
+            assert db.execute(f"SELECT COUNT(*) FROM {name}") == [(0,)]
+
+    def test_recreate_with_drop(self, backend):
+        workload, db, _names = backend
+        names = db.create_violation_views(
+            workload.schema, workload.constraints, drop_existing=True
+        )
+        assert len(names) == 3
+
+    def test_recreate_without_drop_fails(self, backend):
+        from repro import BackendError
+
+        workload, db, _names = backend
+        with pytest.raises(BackendError):
+            db.create_violation_views(workload.schema, workload.constraints)

@@ -1,0 +1,76 @@
+"""Tests for range-consistent aggregate answers."""
+
+import pytest
+
+from repro import ReproError
+from repro.cqa import aggregate_range, parse_query
+
+
+class TestAggregateRanges:
+    def test_sum_of_prc_across_example_23_repairs(self, paper):
+        """D1 keeps prc=40 (sum 130), D2 raises it to 50 (sum 140)."""
+        query = parse_query("q(z) :- Paper(x, y, z, w)")
+        answer = aggregate_range(paper.instance, paper.constraints, query, "sum")
+        assert (answer.glb, answer.lub) == (130.0, 140.0)
+        assert not answer.is_certain
+
+    def test_count_certain_under_update_semantics(self, paper):
+        # attribute updates never change the number of tuples.
+        query = parse_query("q(x) :- Paper(x, y, z, w)")
+        answer = aggregate_range(paper.instance, paper.constraints, query, "count")
+        assert answer.is_certain
+        assert answer.glb == 3.0
+
+    def test_min_max_certain_here(self, paper):
+        query = parse_query("q(z) :- Paper(x, y, z, w)")
+        low = aggregate_range(paper.instance, paper.constraints, query, "min")
+        high = aggregate_range(paper.instance, paper.constraints, query, "max")
+        assert (low.glb, low.lub) == (20.0, 20.0)
+        assert (high.glb, high.lub) == (70.0, 70.0)
+
+    def test_avg_range(self, paper):
+        query = parse_query("q(z) :- Paper(x, y, z, w)")
+        answer = aggregate_range(paper.instance, paper.constraints, query, "avg")
+        assert answer.glb == pytest.approx(130 / 3)
+        assert answer.lub == pytest.approx(140 / 3)
+
+    def test_filtered_count_varies_across_repairs(self, paper):
+        """How many papers are EF? 1 in D1, 2 in D2."""
+        query = parse_query("q(x) :- Paper(x, y, z, w), y > 0")
+        answer = aggregate_range(paper.instance, paper.constraints, query, "count")
+        assert (answer.glb, answer.lub) == (1.0, 2.0)
+
+    def test_delete_semantics_count(self, deletion_demo):
+        query = parse_query("q(x) :- P(x, y)")
+        answer = aggregate_range(
+            deletion_demo.instance,
+            deletion_demo.constraints,
+            query,
+            "count",
+            semantics="delete",
+        )
+        assert (answer.glb, answer.lub) == (1.0, 2.0)
+
+    def test_unknown_aggregate_rejected(self, paper):
+        query = parse_query("q(z) :- Paper(x, y, z, w)")
+        with pytest.raises(ReproError, match="unknown aggregate"):
+            aggregate_range(paper.instance, paper.constraints, query, "median")
+
+    def test_value_aggregate_needs_head(self, paper):
+        query = parse_query("Paper(x, y, z, w)")
+        with pytest.raises(ReproError, match="head variable"):
+            aggregate_range(paper.instance, paper.constraints, query, "sum")
+
+    def test_unknown_semantics_rejected(self, paper):
+        query = parse_query("q(z) :- Paper(x, y, z, w)")
+        with pytest.raises(ReproError, match="semantics"):
+            aggregate_range(
+                paper.instance, paper.constraints, query, "sum", semantics="magic"
+            )
+
+    def test_summary_renders(self, paper):
+        query = parse_query("q(z) :- Paper(x, y, z, w)")
+        answer = aggregate_range(paper.instance, paper.constraints, query, "sum")
+        assert "in [130, 140]" in answer.summary()
+        certain = aggregate_range(paper.instance, paper.constraints, query, "count")
+        assert "= 3" in certain.summary()

@@ -1,0 +1,96 @@
+"""Property-based tests for mono-local fixes (hypothesis).
+
+Checks the defining properties of Definitions 2.6/2.8 on random
+single-relation scenarios:
+
+* the fix falsifies the constraint for the fixed tuple (solves the
+  singleton violation set);
+* **minimality**: no value strictly between the original and the fix
+  solves it (Definition 2.6(c));
+* **uniqueness/idempotence**: re-fixing a fixed tuple changes nothing
+  (Proposition 2.7 in action).
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import Attribute, DatabaseInstance, Relation, Schema
+from repro.constraints.atoms import BuiltinAtom, Comparator, RelationAtom
+from repro.constraints.denial import DenialConstraint
+from repro.fixes.mlf import mono_local_fix
+
+SCHEMA = Schema(
+    [
+        Relation(
+            "R",
+            [Attribute.hard("k"), Attribute.flexible("x")],
+            key=["k"],
+        )
+    ]
+)
+ATOM = RelationAtom("R", ("k", "x"))
+
+
+@st.composite
+def scenarios(draw):
+    """A tuple value + a one-direction constraint it violates."""
+    direction = draw(st.sampled_from([Comparator.LT, Comparator.GT]))
+    bounds = draw(st.lists(st.integers(-50, 50), min_size=1, max_size=4))
+    if direction is Comparator.LT:
+        value = min(bounds) - draw(st.integers(1, 30))
+    else:
+        value = max(bounds) + draw(st.integers(1, 30))
+    constraint = DenialConstraint(
+        [ATOM],
+        [BuiltinAtom("x", direction, bound) for bound in bounds],
+        name="ic",
+    )
+    return value, constraint
+
+
+def _tuple_with(value):
+    instance = DatabaseInstance(SCHEMA)
+    return instance.insert_row("R", (0, value))
+
+
+@given(scenarios())
+@settings(max_examples=200, deadline=None)
+def test_fix_solves_the_violation(scenario):
+    value, constraint = scenario
+    tup = _tuple_with(value)
+    assert constraint.violated_by([tup])
+    fixed = mono_local_fix(tup, constraint, "x", SCHEMA)
+    assert fixed is not None
+    assert not constraint.violated_by([fixed])
+
+
+@given(scenarios())
+@settings(max_examples=200, deadline=None)
+def test_fix_is_minimal(scenario):
+    """Every strictly-closer candidate value still violates (Def. 2.6(c))."""
+    value, constraint = scenario
+    tup = _tuple_with(value)
+    fixed = mono_local_fix(tup, constraint, "x", SCHEMA)
+    new_value = fixed["x"]
+    step = 1 if new_value > value else -1
+    for candidate in range(value + step, new_value, step):
+        assert constraint.violated_by([tup.replace(x=candidate)])
+
+
+@given(scenarios())
+@settings(max_examples=100, deadline=None)
+def test_fix_is_idempotent(scenario):
+    value, constraint = scenario
+    tup = _tuple_with(value)
+    fixed = mono_local_fix(tup, constraint, "x", SCHEMA)
+    assert mono_local_fix(fixed, constraint, "x", SCHEMA) is None
+
+
+@given(scenarios(), st.integers(-200, 200))
+@settings(max_examples=150, deadline=None)
+def test_non_violating_values_get_no_fix(scenario, other_value):
+    _, constraint = scenario
+    tup = _tuple_with(other_value)
+    assume(not constraint.violated_by([tup]))
+    assert mono_local_fix(tup, constraint, "x", SCHEMA) is None

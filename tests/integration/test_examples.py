@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example runs end to end.
+
+The examples double as documentation; this keeps them from rotting.  Each
+is executed in-process (``runpy``) with stdout captured; the examples
+contain their own assertions about the paper's numbers.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "census_repair.py",
+    "sales_audit.py",
+    "cardinality_deletion.py",
+    "bank_compliance.py",
+    "streaming_etl.py",
+    "accuracy_eval.py",
+    "consistent_answers.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {script} produced no output"
+
+
+def test_examples_list_is_complete():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXAMPLES)

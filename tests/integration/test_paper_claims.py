@@ -1,0 +1,128 @@
+"""Capstone: the paper's headline claims, asserted in one place.
+
+Each test corresponds to a claim made in the abstract, Section 3, or the
+conclusion.  The detailed evidence lives in the per-module tests and the
+benchmark harness; this file is the executable summary.
+"""
+
+import time
+
+import pytest
+
+from repro import cardinality_repair, is_consistent, repair_database
+from repro.repair import build_repair_problem
+from repro.setcover import (
+    exact_cover,
+    greedy_cover,
+    layer_cover,
+    modified_greedy_cover,
+    modified_layer_cover,
+)
+from repro.workloads import client_buy_workload
+
+
+@pytest.fixture(scope="module")
+def problem():
+    workload = client_buy_workload(400, inconsistency_ratio=0.3, seed=0)
+    return build_repair_problem(workload.instance, workload.constraints)
+
+
+class TestClaims:
+    def test_claim_modified_greedy_computes_the_same_approximation(self, problem):
+        """Section 3: "The modified greedy algorithm computes the same
+        approximation as the greedy algorithm"."""
+        assert (
+            greedy_cover(problem.setcover).selected
+            == modified_greedy_cover(problem.setcover).selected
+        )
+
+    def test_claim_modified_layer_matches_layer(self, problem):
+        """...and the shared data structure serves the layer algorithm."""
+        plain = layer_cover(problem.setcover)
+        modified = modified_layer_cover(problem.setcover)
+        assert plain.weight == pytest.approx(modified.weight)
+
+    def test_claim_greedy_approximates_better_than_layer(self):
+        """Abstract/Section 4: greedy gives better approximations in
+        practice despite layer's better worst-case factor."""
+        total_greedy = total_layer = 0.0
+        for seed in range(3):
+            workload = client_buy_workload(
+                150,
+                inconsistency_ratio=0.3,
+                seed=seed,
+                minor_age_range=(14, 17),
+                bad_credit_range=(51, 54),
+                bad_price_range=(26, 29),
+            )
+            problem = build_repair_problem(workload.instance, workload.constraints)
+            total_greedy += greedy_cover(problem.setcover).weight
+            total_layer += layer_cover(problem.setcover).weight
+        assert total_greedy < total_layer
+
+    def test_claim_modified_greedy_is_faster_at_scale(self):
+        """Abstract: the O(n log n) algorithm handles large databases -
+        here: the speedup over plain greedy grows with input size."""
+        def speedup(n_clients):
+            workload = client_buy_workload(n_clients, inconsistency_ratio=0.3, seed=1)
+            problem = build_repair_problem(workload.instance, workload.constraints)
+
+            def best_of(solver, repeats=3):
+                best = float("inf")
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    solver(problem.setcover)
+                    best = min(best, time.perf_counter() - started)
+                return best
+
+            return best_of(greedy_cover) / best_of(modified_greedy_cover)
+
+        small, large = speedup(200), speedup(1600)
+        assert large > small
+        assert large > 3.0
+
+    def test_claim_bounded_degree_on_practical_workloads(self):
+        """Section 3: "in most practical cases ... the degree of
+        inconsistency is bounded" - our workloads honour it."""
+        from repro.violations import find_all_violations
+        from repro.violations.degree import degree_of_database
+
+        workload = client_buy_workload(
+            300, inconsistency_ratio=0.4, max_buys=3, seed=2
+        )
+        violations = find_all_violations(workload.instance, workload.constraints)
+        assert degree_of_database(violations) <= 4
+
+    def test_claim_local_fixes_never_cascade(self):
+        """Section 2: for local constraint sets, local fixes create no new
+        inconsistencies - every repair verifies in one pass."""
+        for seed in range(3):
+            workload = client_buy_workload(80, inconsistency_ratio=0.5, seed=seed)
+            result = repair_database(workload.instance, workload.constraints)
+            assert result.verified
+
+    def test_claim_deletion_repairs_via_attribute_updates(self):
+        """Section 5 / Prop 5.3: cardinality repairs reduce to the same
+        machinery, without locality or key requirements on the input."""
+        workload = client_buy_workload(60, inconsistency_ratio=0.5, seed=3)
+        result = cardinality_repair(workload.instance, workload.constraints)
+        assert is_consistent(result.repaired, workload.constraints)
+        assert 0 < result.deletions < len(workload.instance)
+
+    def test_claim_greedy_within_logarithmic_factor(self, problem):
+        """Chvátal's bound holds on the real reduction (sanity anchor)."""
+        from repro.setcover import exact_decomposed_cover
+
+        optimal = exact_decomposed_cover(problem.setcover)
+        greedy = greedy_cover(problem.setcover)
+        largest = max(len(s.elements) for s in problem.setcover.sets)
+        harmonic = sum(1.0 / i for i in range(1, largest + 1))
+        assert greedy.weight <= harmonic * optimal.weight + 1e-6
+
+    def test_claim_exact_is_a_lower_bound(self):
+        """The exact solver (small inputs) lower-bounds every algorithm."""
+        workload = client_buy_workload(12, inconsistency_ratio=0.6, seed=4)
+        problem = build_repair_problem(workload.instance, workload.constraints)
+        optimum = exact_cover(problem.setcover).weight
+        for solver in (greedy_cover, layer_cover, modified_greedy_cover):
+            assert optimum <= solver(problem.setcover).weight + 1e-9

@@ -1,0 +1,149 @@
+"""Unit tests for database instances."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    DatabaseInstance,
+    InstanceError,
+    KeyViolationError,
+    Relation,
+    Schema,
+    Tuple,
+    TupleRef,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Relation(
+                "Client",
+                [Attribute.hard("id"), Attribute.flexible("a")],
+                key=["id"],
+            ),
+            Relation(
+                "Buy",
+                [Attribute.hard("id"), Attribute.hard("i"), Attribute.flexible("p")],
+                key=["id", "i"],
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def instance(schema):
+    return DatabaseInstance.from_rows(
+        schema,
+        {
+            "Client": [(1, 20), (2, 15)],
+            "Buy": [(1, 0, 10), (1, 1, 30), (2, 0, 5)],
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_rows_counts(self, instance):
+        assert instance.count("Client") == 2
+        assert instance.count("Buy") == 3
+        assert instance.count() == 5
+        assert len(instance) == 5
+
+    def test_insert_row_returns_tuple(self, schema):
+        instance = DatabaseInstance(schema)
+        tup = instance.insert_row("Client", (9, 33))
+        assert tup["a"] == 33
+        assert instance.count() == 1
+
+    def test_duplicate_key_rejected(self, instance, schema):
+        with pytest.raises(KeyViolationError):
+            instance.insert(Tuple(schema.relation("Client"), (1, 99)))
+
+    def test_composite_key_uniqueness(self, instance):
+        with pytest.raises(KeyViolationError):
+            instance.insert_row("Buy", (1, 0, 99))
+        instance.insert_row("Buy", (1, 2, 99))  # new item index is fine
+
+    def test_unknown_relation_rejected(self, instance):
+        with pytest.raises(InstanceError):
+            instance.tuples("Nope")
+
+
+class TestLookup:
+    def test_get_by_key(self, instance):
+        assert instance.get("Client", (2,))["a"] == 15
+        assert instance.get("Buy", (1, 1))["p"] == 30
+
+    def test_get_missing_raises(self, instance):
+        with pytest.raises(InstanceError):
+            instance.get("Client", (7,))
+
+    def test_resolve_ref(self, instance):
+        tup = instance.resolve(TupleRef("Buy", (2, 0)))
+        assert tup["p"] == 5
+
+    def test_contains_tuple(self, instance, schema):
+        assert Tuple(schema.relation("Client"), (1, 20)) in instance
+        assert Tuple(schema.relation("Client"), (1, 21)) not in instance
+        assert Tuple(schema.relation("Client"), (9, 20)) not in instance
+
+    def test_contains_key(self, instance):
+        assert instance.contains_key("Client", (1,))
+        assert not instance.contains_key("Client", (9,))
+
+    def test_key_values(self, instance):
+        assert instance.key_values("Buy") == {(1, 0), (1, 1), (2, 0)}
+
+    def test_all_tuples(self, instance):
+        assert sum(1 for _ in instance.all_tuples()) == 5
+
+
+class TestMutation:
+    def test_replace_tuple(self, instance, schema):
+        old = instance.replace_tuple(Tuple(schema.relation("Client"), (2, 18)))
+        assert old["a"] == 15
+        assert instance.get("Client", (2,))["a"] == 18
+
+    def test_replace_missing_raises(self, instance, schema):
+        with pytest.raises(InstanceError):
+            instance.replace_tuple(Tuple(schema.relation("Client"), (7, 18)))
+
+    def test_delete(self, instance):
+        deleted = instance.delete("Buy", (1, 1))
+        assert deleted["p"] == 30
+        assert instance.count("Buy") == 2
+
+    def test_delete_missing_raises(self, instance):
+        with pytest.raises(InstanceError):
+            instance.delete("Buy", (9, 9))
+
+    def test_copy_is_independent(self, instance, schema):
+        clone = instance.copy()
+        clone.replace_tuple(Tuple(schema.relation("Client"), (2, 99)))
+        assert instance.get("Client", (2,))["a"] == 15
+        assert clone.get("Client", (2,))["a"] == 99
+
+    def test_copy_equal(self, instance):
+        assert instance.copy() == instance
+
+
+class TestComparison:
+    def test_same_key_sets(self, instance, schema):
+        clone = instance.copy()
+        assert instance.same_key_sets(clone)
+        clone.replace_tuple(Tuple(schema.relation("Client"), (2, 99)))
+        assert instance.same_key_sets(clone)  # keys unchanged by update
+        clone.delete("Client", (2,))
+        assert not instance.same_key_sets(clone)
+
+    def test_equality_differs_on_values(self, instance, schema):
+        clone = instance.copy()
+        assert clone == instance
+        clone.replace_tuple(Tuple(schema.relation("Client"), (2, 99)))
+        assert clone != instance
+
+    def test_to_text_mentions_all_relations(self, instance):
+        text = instance.to_text()
+        assert "Client" in text and "Buy" in text
+        assert "1, 20" in text

@@ -1,0 +1,106 @@
+"""Property-based tests for the relational model (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import (
+    Attribute,
+    DatabaseInstance,
+    KeyViolationError,
+    Relation,
+    Schema,
+)
+
+SCHEMA = Schema(
+    [
+        Relation(
+            "R",
+            [Attribute.hard("k"), Attribute.flexible("x"), Attribute.hard("h")],
+            key=["k"],
+        )
+    ]
+)
+
+rows_strategy = st.dictionaries(
+    st.integers(0, 50),                                  # key
+    st.tuples(st.integers(-100, 100), st.text(max_size=5)),   # (x, h)
+    max_size=20,
+)
+
+
+def build(rows: dict) -> DatabaseInstance:
+    return DatabaseInstance.from_rows(
+        SCHEMA, {"R": [(k, x, h) for k, (x, h) in rows.items()]}
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_instance_behaves_like_keyed_mapping(rows):
+    instance = build(rows)
+    assert len(instance) == len(rows)
+    for key, (x, h) in rows.items():
+        tup = instance.get("R", (key,))
+        assert tup["x"] == x and tup["h"] == h
+    assert instance.key_values("R") == {(k,) for k in rows}
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_duplicate_insert_rejected(rows):
+    assume(rows)
+    instance = build(rows)
+    key = next(iter(rows))
+    import pytest
+
+    with pytest.raises(KeyViolationError):
+        instance.insert_row("R", (key, 0, ""))
+
+
+@given(rows_strategy, st.integers(-100, 100))
+@settings(max_examples=100, deadline=None)
+def test_replace_updates_exactly_one_row(rows, new_x):
+    assume(rows)
+    instance = build(rows)
+    target = next(iter(rows))
+    old = instance.get("R", (target,))
+    instance.replace_tuple(old.replace(x=new_x))
+    assert instance.get("R", (target,))["x"] == new_x
+    for key, (x, h) in rows.items():
+        if key != target:
+            assert instance.get("R", (key,))["x"] == x
+    assert len(instance) == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_copy_is_deep_for_structure(rows):
+    instance = build(rows)
+    clone = instance.copy()
+    assert clone == instance
+    for key in list(rows):
+        clone.delete("R", (key,))
+    assert len(instance) == len(rows)
+    assert len(clone) == 0
+    assert (clone == instance) == (len(rows) == 0)
+
+
+@given(rows_strategy)
+@settings(max_examples=100, deadline=None)
+def test_delete_then_insert_roundtrip(rows):
+    assume(rows)
+    instance = build(rows)
+    target = next(iter(rows))
+    removed = instance.delete("R", (target,))
+    assert len(instance) == len(rows) - 1
+    instance.insert(removed)
+    assert instance == build(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_to_text_mentions_every_key(rows):
+    text = build(rows).to_text()
+    for key in rows:
+        assert str(key) in text

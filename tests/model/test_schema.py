@@ -1,0 +1,186 @@
+"""Unit tests for attributes, relations, and schemas."""
+
+import pytest
+
+from repro import Attribute, AttributeRole, Relation, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_hard_constructor(self):
+        attribute = Attribute.hard("age")
+        assert attribute.name == "age"
+        assert attribute.role is AttributeRole.HARD
+        assert not attribute.is_flexible
+
+    def test_flexible_constructor(self):
+        attribute = Attribute.flexible("age", weight=0.5)
+        assert attribute.is_flexible
+        assert attribute.weight == 0.5
+
+    def test_flexible_default_weight(self):
+        assert Attribute.flexible("age").weight == 1.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute.hard("")
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(SchemaError):
+            Attribute.hard("my attr")
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(SchemaError):
+            Attribute.hard("1abc")
+
+    def test_allows_underscores(self):
+        assert Attribute.hard("my_attr").name == "my_attr"
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(SchemaError):
+            Attribute.flexible("age", weight=0.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(SchemaError):
+            Attribute.flexible("age", weight=-1.0)
+
+    def test_is_frozen(self):
+        attribute = Attribute.hard("age")
+        with pytest.raises(AttributeError):
+            attribute.name = "other"
+
+
+class TestRelation:
+    def make(self):
+        return Relation(
+            "Client",
+            [Attribute.hard("id"), Attribute.flexible("a"), Attribute.flexible("c")],
+            key=["id"],
+        )
+
+    def test_basic_properties(self):
+        relation = self.make()
+        assert relation.name == "Client"
+        assert relation.arity == 3
+        assert relation.attribute_names == ("id", "a", "c")
+        assert relation.key == ("id",)
+
+    def test_string_attributes_become_hard(self):
+        relation = Relation("R", ["x", "y"], key=["x"])
+        assert all(not a.is_flexible for a in relation.attributes)
+
+    def test_position_lookup(self):
+        relation = self.make()
+        assert relation.position("id") == 0
+        assert relation.position("c") == 2
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().position("nope")
+
+    def test_attribute_lookup(self):
+        assert self.make().attribute("a").is_flexible
+
+    def test_attribute_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().attribute("nope")
+
+    def test_flexible_attributes(self):
+        relation = self.make()
+        assert [a.name for a in relation.flexible_attributes] == ["a", "c"]
+
+    def test_key_positions(self):
+        relation = Relation(
+            "Buy",
+            [Attribute.hard("id"), Attribute.hard("i"), Attribute.flexible("p")],
+            key=["id", "i"],
+        )
+        assert relation.key_positions == (0, 1)
+        assert relation.is_key_attribute("i")
+        assert not relation.is_key_attribute("p")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [Attribute.hard("x"), Attribute.hard("x")], key=["x"])
+
+    def test_missing_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [Attribute.hard("x")], key=["y"])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [Attribute.hard("x")], key=[])
+
+    def test_flexible_key_rejected(self):
+        # F ∩ K_R = ∅ (Section 2): keys are never updatable.
+        with pytest.raises(SchemaError):
+            Relation("R", [Attribute.flexible("x")], key=["x"])
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(
+                "R", [Attribute.hard("x"), Attribute.hard("y")], key=["x", "x"]
+            )
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [], key=["x"])
+
+    def test_bad_relation_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("bad name", [Attribute.hard("x")], key=["x"])
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        other = Relation("Other", [Attribute.hard("id")], key=["id"])
+        assert self.make() != other
+
+
+class TestSchema:
+    def make(self):
+        return Schema(
+            [
+                Relation("A", [Attribute.hard("x"), Attribute.flexible("v")], key=["x"]),
+                Relation("B", [Attribute.hard("y")], key=["y"]),
+            ]
+        )
+
+    def test_lookup(self):
+        schema = self.make()
+        assert schema.relation("A").name == "A"
+        assert "B" in schema
+        assert "C" not in schema
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().relation("C")
+
+    def test_iteration_and_len(self):
+        schema = self.make()
+        assert len(schema) == 2
+        assert [r.name for r in schema] == ["A", "B"]
+        assert schema.relation_names == ("A", "B")
+
+    def test_duplicate_relation_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.add(Relation("A", [Attribute.hard("z")], key=["z"]))
+
+    def test_flexible_attributes_map(self):
+        flexible = self.make().flexible_attributes()
+        assert [a.name for a in flexible["A"]] == ["v"]
+        assert flexible["B"] == ()
+
+    def test_weight_lookup(self):
+        schema = Schema(
+            [Relation("R", [Attribute.hard("k"), Attribute.flexible("v", 0.25)], key=["k"])]
+        )
+        assert schema.weight("R", "v") == 0.25
+
+    def test_weight_of_hard_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().weight("A", "x")
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        assert self.make() != Schema([])

@@ -1,0 +1,219 @@
+"""Edge-case tests for the repair engine across odd-but-legal inputs."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    DatabaseInstance,
+    Relation,
+    Schema,
+    database_delta,
+    is_consistent,
+    parse_denial,
+    parse_denials,
+    repair_database,
+)
+
+
+def schema_rs():
+    return Schema(
+        [
+            Relation(
+                "R",
+                [Attribute.hard("k"), Attribute.hard("g"), Attribute.flexible("x")],
+                key=["k"],
+            ),
+            Relation(
+                "S",
+                [Attribute.hard("g"), Attribute.flexible("y")],
+                key=["g"],
+            ),
+        ]
+    )
+
+
+class TestBoundaries:
+    def test_le_boundary_fix_lands_exactly_on_bound(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 7)], "S": []}
+        )
+        # x <= 7 normalizes to x < 8: the fix is exactly 8.
+        constraint = parse_denial("NOT(R(k, g, x), x <= 7)")
+        result = repair_database(instance, [constraint])
+        assert result.repaired.get("R", (1,))["x"] == 8
+
+    def test_ge_boundary(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 7)], "S": []}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), x >= 7)")
+        result = repair_database(instance, [constraint])
+        assert result.repaired.get("R", (1,))["x"] == 6
+
+    def test_negative_values_and_bounds(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", -50)], "S": []}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), x < -10)")
+        result = repair_database(instance, [constraint])
+        assert result.repaired.get("R", (1,))["x"] == -10
+        assert result.distance == 40.0
+
+    def test_value_exactly_at_bound_is_consistent(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 10)], "S": []}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), x < 10)")
+        result = repair_database(instance, [constraint])
+        assert result.violations_before == 0
+
+
+class TestConstraintShapes:
+    def test_builtin_on_hard_join_variable(self):
+        # g joins R and S and carries a filter; only y is fixable.
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema,
+            {"R": [(1, 7, 3)], "S": [(7, 99)]},
+        )
+        constraint = parse_denial("NOT(R(k, g, x), S(g, y), g = 7, y > 50)")
+        result = repair_database(instance, [constraint])
+        assert result.repaired.get("S", (7,))["y"] == 50
+        assert result.repaired.get("R", (1,))["x"] == 3
+
+    def test_two_flexible_attributes_same_constraint(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, 7, 3)], "S": [(7, 99)]}
+        )
+        # either raising x or lowering y solves it; x is closer (3->5).
+        constraint = parse_denial("NOT(R(k, g, x), S(g, y), x < 5, y > 50)")
+        result = repair_database(instance, [constraint], algorithm="exact")
+        assert result.distance == 2.0
+        assert result.repaired.get("R", (1,))["x"] == 5
+
+    def test_many_bounds_on_one_attribute(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 0)], "S": []}
+        )
+        constraints = parse_denials(
+            """
+            NOT(R(k, g, x), x < 5)
+            NOT(R(k, g, x), x < 9)
+            NOT(R(k, g, x), x <= 11)
+            """
+        )
+        result = repair_database(instance, constraints, algorithm="exact")
+        # a single move to 12 satisfies all three.
+        assert result.repaired.get("R", (1,))["x"] == 12
+        assert result.distance == 12.0
+
+    def test_empty_relation_participating_in_join(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 0)], "S": []}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), S(g, y), x < 5, y > 1)")
+        result = repair_database(instance, [constraint])
+        assert result.violations_before == 0      # join partner missing
+
+    def test_single_tuple_database(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 0)], "S": []}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), x < 3)")
+        result = repair_database(instance, [constraint])
+        assert result.tuples_changed == 1
+
+
+class TestMetricSemantics:
+    def test_l0_minimizes_changed_cells(self):
+        """The 0/1 metric realizes minimal-number-of-changes semantics."""
+        schema = Schema(
+            [
+                Relation(
+                    "T",
+                    [
+                        Attribute.hard("k"),
+                        Attribute.flexible("u"),
+                        Attribute.flexible("v"),
+                    ],
+                    key=["k"],
+                )
+            ]
+        )
+        # u is 1 away from its bound, v is 1000 away: under L1 u wins,
+        # under L0 both fixes cost exactly one cell.
+        instance = DatabaseInstance.from_rows(schema, {"T": [(1, 4, 1005)]})
+        constraints = parse_denials("NOT(T(k, u, v), u < 5, v > 5)")
+        l0 = repair_database(instance, constraints, metric="l0", algorithm="exact")
+        l1 = repair_database(instance, constraints, metric="l1", algorithm="exact")
+        assert len(l0.changes) == 1
+        assert l0.cover_weight == 1.0
+        assert l1.changes[0].attribute == "u"
+
+    def test_l2_penalizes_long_moves(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, 7, 0)], "S": [(7, 53)]}
+        )
+        # fix x: 0->10 (cost 100 under L2) vs fix y: 53->50 (cost 9).
+        constraint = parse_denial("NOT(R(k, g, x), S(g, y), x < 10, y > 50)")
+        result = repair_database(instance, [constraint], metric="l2", algorithm="exact")
+        assert result.repaired.get("S", (7,))["y"] == 50
+
+    def test_distance_equals_database_delta_for_all_metrics(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, 7, 0)], "S": [(7, 53)]}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), S(g, y), x < 10, y > 50)")
+        for metric in ("l1", "l2", "l0"):
+            result = repair_database(instance, [constraint], metric=metric)
+            from repro.fixes.distance import get_metric
+
+            assert result.distance == pytest.approx(
+                database_delta(instance, result.repaired, get_metric(metric))
+            )
+
+
+class TestWeights:
+    def test_attribute_weights_steer_the_repair(self):
+        schema = Schema(
+            [
+                Relation(
+                    "T",
+                    [
+                        Attribute.hard("k"),
+                        Attribute.flexible("u", weight=100.0),
+                        Attribute.flexible("v", weight=0.01),
+                    ],
+                    key=["k"],
+                )
+            ]
+        )
+        instance = DatabaseInstance.from_rows(schema, {"T": [(1, 4, 1005)]})
+        constraints = parse_denials("NOT(T(k, u, v), u < 5, v > 5)")
+        result = repair_database(instance, constraints, algorithm="exact")
+        # moving v 1000 steps at weight .01 (cost 10) beats moving u one
+        # step at weight 100.
+        assert result.changes[0].attribute == "v"
+        assert result.cover_weight == pytest.approx(10.0)
+
+    def test_repair_of_consistent_database_by_every_algorithm(self):
+        schema = schema_rs()
+        instance = DatabaseInstance.from_rows(
+            schema, {"R": [(1, "a", 50)], "S": [("a", 0)]}
+        )
+        constraint = parse_denial("NOT(R(k, g, x), x < 5)")
+        for algorithm in ("greedy", "modified-greedy", "layer", "modified-layer",
+                          "exact", "exact-decomposed", "lp-rounding"):
+            result = repair_database(instance, [constraint], algorithm=algorithm)
+            assert result.changes == ()
+            assert is_consistent(result.repaired, [constraint])

@@ -1,0 +1,174 @@
+"""Golden tests: every worked example of the paper, end to end.
+
+These tests pin the reproduction to the paper's stated numbers:
+Example 1.1/2.3 (repairs and distances), Example 2.5 (violation sets),
+Example 2.10 (mono-local fixes), Example 3.3 (the MWSCP matrix and its
+three minimal covers), Example 3.4 (the greedy run).
+"""
+
+import pytest
+
+from repro import (
+    build_repair_problem,
+    database_delta,
+    find_all_violations,
+    is_consistent,
+    repair_database,
+)
+from repro.setcover import exact_cover, greedy_cover
+from repro.setcover.verify import is_cover
+
+
+class TestExample11And23:
+    def test_two_optimal_repairs_have_distance_two(self, paper):
+        """Example 2.3: D1 and D2 are the repairs, both at distance 2."""
+        result = repair_database(paper.instance, paper.constraints, algorithm="exact")
+        assert result.cover_weight == pytest.approx(2.0)
+        assert result.distance == pytest.approx(2.0)
+
+        repaired = result.repaired
+        b1 = repaired.get("Paper", ("B1",)).values
+        c2 = repaired.get("Paper", ("C2",)).values
+        e3 = repaired.get("Paper", ("E3",)).values
+        assert e3 == ("E3", 1, 70, 1)                  # t3 untouched
+        assert c2 == ("C2", 0, 20, 1)                  # t2^1 in both repairs
+        assert b1 in {("B1", 0, 40, 0), ("B1", 1, 50, 1)}   # D1 or D2
+
+    def test_candidate_d4_is_not_minimal(self, paper):
+        """Example 2.3: D3 costs 3 and D4 costs 2.5; neither is returned."""
+        result = repair_database(paper.instance, paper.constraints, algorithm="exact")
+        assert result.distance < 2.5
+
+
+class TestExample25:
+    def test_violation_sets(self, paper_pub):
+        violations = find_all_violations(paper_pub.instance, paper_pub.constraints)
+        assert len(violations) == 4
+        sizes = {
+            (v.constraint.name, len(v)) for v in violations
+        }
+        assert sizes == {("ic1", 1), ("ic2", 1), ("ic3", 2)}
+
+
+class TestExample33:
+    def test_matrix_shape(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        assert problem.setcover.n_elements == 4
+        assert len(problem.setcover.sets) == 7
+
+    def test_incidence_matrix(self, paper_pub):
+        """The 0/1 matrix of Example 3.3, row per element, column per set."""
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+
+        def element_index(ic_name, keys):
+            for i, violation in enumerate(problem.violations):
+                if violation.constraint.name == ic_name and {
+                    t.key for t in violation
+                } == set(keys):
+                    return i
+            raise AssertionError((ic_name, keys))
+
+        def set_id(key_values, attribute, value):
+            for weighted_set in problem.setcover.sets:
+                c = weighted_set.payload
+                if (c.ref.key_values, c.attribute, c.new_value) == (
+                    key_values,
+                    attribute,
+                    value,
+                ):
+                    return weighted_set.set_id
+            raise AssertionError((key_values, attribute, value))
+
+        e_t1_ic1 = element_index("ic1", [("B1",)])
+        e_t1_ic2 = element_index("ic2", [("B1",)])
+        e_t2_ic1 = element_index("ic1", [("C2",)])
+        e_t1p1_ic3 = element_index("ic3", [("B1",), (235,)])
+
+        matrix = {
+            "S1": (set_id(("B1",), "ef", 0), {e_t1_ic1, e_t1_ic2}),
+            "S2": (set_id(("B1",), "prc", 50), {e_t1_ic1}),
+            "S3": (set_id(("B1",), "cf", 1), {e_t1_ic2}),
+            "S4": (set_id(("B1",), "prc", 70), {e_t1_ic1, e_t1p1_ic3}),
+            "S5": (set_id(("C2",), "ef", 0), {e_t2_ic1}),
+            "S6": (set_id(("C2",), "prc", 50), {e_t2_ic1}),
+            "S7": (set_id((235,), "pag", 40), {e_t1p1_ic3}),
+        }
+        for name, (sid, expected_elements) in matrix.items():
+            actual = set(problem.setcover.sets[sid].elements)
+            assert actual == expected_elements, name
+
+    def test_three_minimal_covers_are_covers(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+
+        def sid(key_values, attribute, value):
+            for weighted_set in problem.setcover.sets:
+                c = weighted_set.payload
+                if (c.ref.key_values, c.attribute, c.new_value) == (
+                    key_values,
+                    attribute,
+                    value,
+                ):
+                    return weighted_set.set_id
+            raise AssertionError
+
+        c1 = [sid(("B1",), "ef", 0), sid(("C2",), "ef", 0), sid((235,), "pag", 40)]
+        c2 = [
+            sid(("B1",), "prc", 50),
+            sid(("B1",), "cf", 1),
+            sid(("C2",), "ef", 0),
+            sid((235,), "pag", 40),
+        ]
+        c3 = [
+            sid(("B1",), "cf", 1),
+            sid(("B1",), "prc", 70),
+            sid(("C2",), "ef", 0),
+        ]
+        for cover in (c1, c2, c3):
+            assert is_cover(problem.setcover, cover)
+        # The paper's table prints weight(S7)=1 and calls all three covers
+        # minimal at weight 3.  Under its own definitions (alpha_Pag = 1/10
+        # from Example 2.5, Definition 3.1(c)) S7 weighs 0.5, so C1 and C2
+        # cost 2.5 and C3 costs 3.0; the optimum is 2.5.
+        weights = [
+            sum(problem.setcover.sets[i].weight for i in cover)
+            for cover in (c1, c2, c3)
+        ]
+        assert weights == pytest.approx([2.5, 2.5, 3.0])
+        assert exact_cover(problem.setcover).weight == pytest.approx(2.5)
+
+
+class TestExample34:
+    def test_greedy_run_matches_narrative(self, paper_pub):
+        """Example 3.4: greedy picks S1 (w_ef=0.5), then S5, then S7."""
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        cover = greedy_cover(problem.setcover)
+        picked = [
+            (
+                problem.candidate(sid).ref.key_values,
+                problem.candidate(sid).attribute,
+                problem.candidate(sid).new_value,
+            )
+            for sid in cover.selected
+        ]
+        # Ties at w_ef=0.5 are broken by set id; the paper notes S1..S4 all
+        # tie and "if we choose S1..." - our deterministic order picks a
+        # tied 0.5-weight fix of t1 first, then S5/S7 follow as narrated.
+        assert picked[0][0] == ("B1",)
+        assert (("C2",), "ef", 0) in picked
+        assert ((235,), "pag", 40) in picked or (("B1",), "prc", 70) in picked
+        assert is_cover(problem.setcover, cover.selected)
+
+    def test_greedy_cover_is_optimal_here(self, paper_pub):
+        problem = build_repair_problem(paper_pub.instance, paper_pub.constraints)
+        assert greedy_cover(problem.setcover).weight == pytest.approx(
+            exact_cover(problem.setcover).weight
+        )
+
+    def test_full_repair_from_greedy(self, paper_pub):
+        result = repair_database(
+            paper_pub.instance, paper_pub.constraints, algorithm="greedy"
+        )
+        assert is_consistent(result.repaired, paper_pub.constraints)
+        assert result.distance == pytest.approx(
+            database_delta(paper_pub.instance, result.repaired)
+        )

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the repair engine.
+
+On randomly generated single-relation databases with random local
+constraint sets:
+
+* every algorithm's repair satisfies the constraints;
+* the repair distance never exceeds the cover weight;
+* the exact repair distance is a lower bound for every approximation;
+* repairing a repair is a no-op (fixpoint);
+* hard attributes and keys are never touched.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Attribute,
+    DatabaseInstance,
+    Relation,
+    Schema,
+    database_delta,
+    is_consistent,
+    repair_database,
+)
+from repro.constraints.atoms import BuiltinAtom, Comparator, RelationAtom
+from repro.constraints.denial import DenialConstraint
+
+# One relation R(k, h, x, y): k key, h hard payload, x (fix-up) and
+# y (fix-down) flexible.  Constraints only ever use x in '<' and y in '>'
+# comparisons, so every generated set is local by construction.
+SCHEMA = Schema(
+    [
+        Relation(
+            "R",
+            [
+                Attribute.hard("k"),
+                Attribute.hard("h"),
+                Attribute.flexible("x", weight=1.0),
+                Attribute.flexible("y", weight=0.5),
+            ],
+            key=["k"],
+        )
+    ]
+)
+ATOM = RelationAtom("R", ("k", "h", "x", "y"))
+
+
+@st.composite
+def repair_scenarios(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=12))
+    rows = [
+        (
+            i,
+            draw(st.integers(min_value=0, max_value=3)),
+            draw(st.integers(min_value=0, max_value=30)),
+            draw(st.integers(min_value=0, max_value=30)),
+        )
+        for i in range(n_rows)
+    ]
+    instance = DatabaseInstance.from_rows(SCHEMA, {"R": rows})
+
+    n_constraints = draw(st.integers(min_value=1, max_value=3))
+    constraints = []
+    for index in range(n_constraints):
+        builtins = []
+        use_x = draw(st.booleans())
+        use_y = draw(st.booleans())
+        if not use_x and not use_y:
+            use_x = True
+        if use_x:
+            builtins.append(
+                BuiltinAtom(
+                    "x", Comparator.LT, draw(st.integers(min_value=1, max_value=30))
+                )
+            )
+        if use_y:
+            builtins.append(
+                BuiltinAtom(
+                    "y", Comparator.GT, draw(st.integers(min_value=0, max_value=29))
+                )
+            )
+        if draw(st.booleans()):
+            builtins.append(
+                BuiltinAtom(
+                    "h", Comparator.EQ, draw(st.integers(min_value=0, max_value=3))
+                )
+            )
+        constraints.append(
+            DenialConstraint([ATOM], builtins, name=f"ic{index + 1}")
+        )
+    return instance, tuple(constraints)
+
+
+ALGORITHMS = ("greedy", "modified-greedy", "layer", "modified-layer")
+
+
+@given(repair_scenarios())
+@settings(max_examples=80, deadline=None)
+def test_repairs_satisfy_constraints(scenario):
+    instance, constraints = scenario
+    for algorithm in ALGORITHMS:
+        result = repair_database(instance, constraints, algorithm=algorithm)
+        assert result.verified
+        assert is_consistent(result.repaired, constraints)
+
+
+@given(repair_scenarios())
+@settings(max_examples=80, deadline=None)
+def test_distance_bounded_by_cover_weight(scenario):
+    instance, constraints = scenario
+    for algorithm in ALGORITHMS:
+        result = repair_database(instance, constraints, algorithm=algorithm)
+        assert result.distance <= result.cover_weight + 1e-9
+        assert result.distance == database_delta(instance, result.repaired)
+
+
+@given(repair_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_exact_lower_bounds_approximations(scenario):
+    instance, constraints = scenario
+    exact = repair_database(instance, constraints, algorithm="exact")
+    for algorithm in ALGORITHMS:
+        approximate = repair_database(instance, constraints, algorithm=algorithm)
+        assert exact.cover_weight <= approximate.cover_weight + 1e-9
+
+
+@given(repair_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_repair_is_fixpoint(scenario):
+    instance, constraints = scenario
+    first = repair_database(instance, constraints)
+    second = repair_database(first.repaired, constraints)
+    assert second.distance == 0.0
+    assert second.changes == ()
+    assert second.repaired == first.repaired
+
+
+@given(repair_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_hard_attributes_and_keys_preserved(scenario):
+    instance, constraints = scenario
+    result = repair_database(instance, constraints)
+    assert instance.same_key_sets(result.repaired)
+    for old in instance.tuples("R"):
+        new = result.repaired.get("R", old.key)
+        assert new["k"] == old["k"]
+        assert new["h"] == old["h"]
+
+
+@given(repair_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_greedy_variants_agree(scenario):
+    instance, constraints = scenario
+    a = repair_database(instance, constraints, algorithm="greedy")
+    b = repair_database(instance, constraints, algorithm="modified-greedy")
+    assert a.repaired == b.repaired
+    assert a.cover_weight == b.cover_weight

@@ -1,0 +1,75 @@
+"""Unit tests for repair-result serialization and replay."""
+
+import json
+
+import pytest
+
+from repro import ReproError, is_consistent, repair_database
+from repro.repair.serialize import (
+    apply_changes,
+    changes_from_dict,
+    result_to_dict,
+    result_to_json,
+)
+
+
+@pytest.fixture
+def result(paper_pub):
+    return repair_database(paper_pub.instance, paper_pub.constraints)
+
+
+class TestSerialization:
+    def test_dict_shape(self, result):
+        data = result_to_dict(result)
+        assert data["algorithm"] == "modified-greedy"
+        assert data["verified"] is True
+        assert data["violations_before"] == 4
+        assert len(data["changes"]) == len(result.changes)
+        first = data["changes"][0]
+        assert set(first) == {
+            "relation",
+            "key",
+            "attribute",
+            "old_value",
+            "new_value",
+            "weight",
+        }
+
+    def test_json_roundtrip(self, result):
+        text = result_to_json(result)
+        data = json.loads(text)
+        changes = changes_from_dict(data)
+        assert changes == result.changes
+
+    def test_json_is_sorted_and_stable(self, result):
+        assert result_to_json(result) == result_to_json(result)
+
+    def test_changes_from_dict_validation(self):
+        with pytest.raises(ReproError):
+            changes_from_dict({})
+        with pytest.raises(ReproError):
+            changes_from_dict({"changes": [{"relation": "R"}]})
+
+
+class TestReplay:
+    def test_replay_reproduces_repair(self, paper_pub, result):
+        data = json.loads(result_to_json(result))
+        changes = changes_from_dict(data)
+        replayed = apply_changes(paper_pub.instance, changes)
+        assert replayed == result.repaired
+        assert is_consistent(replayed, paper_pub.constraints)
+
+    def test_replay_does_not_mutate_source(self, paper_pub, result):
+        snapshot = paper_pub.instance.copy()
+        apply_changes(paper_pub.instance, result.changes)
+        assert paper_pub.instance == snapshot
+
+    def test_replay_conflict_detected(self, paper_pub, result):
+        diverged = paper_pub.instance.copy()
+        first = result.changes[0]
+        tampered = diverged.resolve(first.ref).replace(
+            {first.attribute: first.old_value + 1}
+        )
+        diverged.replace_tuple(tampered)
+        with pytest.raises(ReproError, match="replay conflict"):
+            apply_changes(diverged, result.changes)

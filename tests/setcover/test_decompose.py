@@ -1,0 +1,154 @@
+"""Unit tests for connected-component decomposition of set-cover instances."""
+
+import pytest
+
+from repro.setcover import (
+    SetCoverInstance,
+    component_size_histogram,
+    decompose,
+    exact_cover,
+    exact_decomposed_cover,
+    greedy_cover,
+    is_cover,
+    modified_greedy_cover,
+    solve_by_components,
+)
+
+
+def make(n, collections):
+    return SetCoverInstance.from_collections(n, collections)
+
+
+@pytest.fixture
+def two_components():
+    # component A: elements {0,1}; component B: elements {2,3,4}.
+    return make(
+        5,
+        [
+            (1.0, [0, 1]),
+            (0.6, [0]),
+            (0.6, [1]),
+            (2.0, [2, 3, 4]),
+            (0.5, [3]),
+            (1.5, [2, 4]),
+        ],
+    )
+
+
+class TestDecompose:
+    def test_component_count_and_membership(self, two_components):
+        components = decompose(two_components)
+        assert len(components) == 2
+        assert components[0].element_ids == (0, 1)
+        assert components[1].element_ids == (2, 3, 4)
+        assert components[0].set_ids == (0, 1, 2)
+        assert components[1].set_ids == (3, 4, 5)
+
+    def test_local_ids_are_consistent(self, two_components):
+        components = decompose(two_components)
+        component = components[1]
+        local_set = component.instance.sets[2]     # original set 5: {2,4}
+        original_elements = {
+            component.element_ids[e] for e in local_set.elements
+        }
+        assert original_elements == {2, 4}
+        assert component.set_ids[2] == 5
+
+    def test_payloads_preserved(self):
+        instance = SetCoverInstance.from_collections(
+            1, [(1.0, [0])], payloads=["fix"]
+        )
+        (component,) = decompose(instance)
+        assert component.instance.sets[0].payload == "fix"
+
+    def test_fully_connected_is_one_component(self):
+        instance = make(3, [(1.0, [0, 1]), (1.0, [1, 2])])
+        assert len(decompose(instance)) == 1
+
+    def test_singletons_are_their_own_components(self):
+        instance = make(3, [(1.0, [0]), (1.0, [1]), (1.0, [2])])
+        assert len(decompose(instance)) == 3
+
+    def test_empty_sets_dropped(self):
+        instance = make(1, [(1.0, [0]), (5.0, [])])
+        (component,) = decompose(instance)
+        assert component.set_ids == (0,)
+
+    def test_empty_instance(self):
+        assert decompose(make(0, [])) == ()
+
+    def test_histogram(self, two_components):
+        components = decompose(two_components)
+        assert component_size_histogram(components) == {2: 1, 3: 1}
+
+
+class TestSolveByComponents:
+    def test_matches_monolithic_greedy(self, two_components):
+        whole = greedy_cover(two_components)
+        split = solve_by_components(two_components, greedy_cover)
+        assert sorted(split.selected) == sorted(whole.selected)
+        assert split.weight == pytest.approx(whole.weight)
+
+    def test_matches_monolithic_exact(self, two_components):
+        whole = exact_cover(two_components)
+        split = solve_by_components(two_components, exact_cover)
+        assert split.weight == pytest.approx(whole.weight)
+        assert is_cover(two_components, split.selected)
+
+    def test_oversized_fallback(self, two_components):
+        cover = solve_by_components(
+            two_components,
+            exact_cover,
+            max_component_elements=2,
+            fallback=modified_greedy_cover,
+        )
+        assert is_cover(two_components, cover.selected)
+        assert cover.stats["oversized_components"] == 1
+
+    def test_oversized_without_fallback_raises(self, two_components):
+        with pytest.raises(ValueError):
+            solve_by_components(
+                two_components, exact_cover, max_component_elements=2
+            )
+
+    def test_component_stats(self, two_components):
+        cover = solve_by_components(two_components, greedy_cover)
+        assert cover.stats["components"] == 2
+
+
+class TestExactDecomposedSolver:
+    def test_optimal_on_clustered_repair_problem(self, small_clientbuy):
+        from repro import repair_database
+
+        result = repair_database(
+            small_clientbuy.instance,
+            small_clientbuy.constraints,
+            algorithm="exact-decomposed",
+        )
+        approx = repair_database(
+            small_clientbuy.instance,
+            small_clientbuy.constraints,
+            algorithm="modified-greedy",
+        )
+        assert result.verified
+        assert result.cover_weight <= approx.cover_weight + 1e-9
+
+    def test_randomized_equivalence_with_exact(self):
+        import random
+
+        for seed in range(6):
+            rng = random.Random(seed)
+            # build several disjoint blocks to force components.
+            collections = []
+            base = 0
+            for _ in range(rng.randint(2, 4)):
+                size = rng.randint(2, 5)
+                elements = list(range(base, base + size))
+                collections.append((float(rng.randint(1, 9)), elements))
+                for e in elements:
+                    collections.append((float(rng.randint(1, 9)), [e]))
+                base += size
+            instance = make(base, collections)
+            assert exact_decomposed_cover(instance).weight == pytest.approx(
+                exact_cover(instance).weight
+            )

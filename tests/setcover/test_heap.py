@@ -1,0 +1,131 @@
+"""Unit tests for the indexed binary heap."""
+
+import random
+
+import pytest
+
+from repro import SetCoverError
+from repro.setcover.heap import IndexedHeap
+
+
+class TestBasics:
+    def test_push_pop_ordering(self):
+        heap = IndexedHeap()
+        for item, key in [("a", 3), ("b", 1), ("c", 2)]:
+            heap.push(item, key)
+        assert heap.pop() == ("b", 1)
+        assert heap.pop() == ("c", 2)
+        assert heap.pop() == ("a", 3)
+
+    def test_len_bool_contains(self):
+        heap = IndexedHeap()
+        assert not heap
+        heap.push("x", 1)
+        assert heap and len(heap) == 1
+        assert "x" in heap and "y" not in heap
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedHeap()
+        heap.push("x", 5)
+        assert heap.peek() == ("x", 5)
+        assert len(heap) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SetCoverError):
+            IndexedHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SetCoverError):
+            IndexedHeap().peek()
+
+    def test_duplicate_push_raises(self):
+        heap = IndexedHeap()
+        heap.push("x", 1)
+        with pytest.raises(SetCoverError):
+            heap.push("x", 2)
+
+    def test_key_of(self):
+        heap = IndexedHeap()
+        heap.push("x", 7)
+        assert heap.key_of("x") == 7
+        with pytest.raises(SetCoverError):
+            heap.key_of("missing")
+
+
+class TestUpdates:
+    def test_decrease_key_moves_to_front(self):
+        heap = IndexedHeap()
+        heap.push("a", 10)
+        heap.push("b", 20)
+        heap.update("b", 5)
+        assert heap.pop() == ("b", 5)
+
+    def test_increase_key_moves_back(self):
+        heap = IndexedHeap()
+        heap.push("a", 10)
+        heap.push("b", 20)
+        heap.update("a", 30)
+        assert heap.pop() == ("b", 20)
+
+    def test_update_missing_raises(self):
+        with pytest.raises(SetCoverError):
+            IndexedHeap().update("x", 1)
+
+    def test_push_or_update(self):
+        heap = IndexedHeap()
+        heap.push_or_update("x", 5)
+        heap.push_or_update("x", 1)
+        assert heap.pop() == ("x", 1)
+
+    def test_remove_arbitrary(self):
+        heap = IndexedHeap()
+        for item, key in [("a", 1), ("b", 2), ("c", 3)]:
+            heap.push(item, key)
+        heap.remove("b")
+        assert "b" not in heap
+        assert [heap.pop()[0] for _ in range(2)] == ["a", "c"]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(SetCoverError):
+            IndexedHeap().remove("x")
+
+    def test_items_iteration(self):
+        heap = IndexedHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        assert dict(heap.items()) == {"a": 1, "b": 2}
+
+
+class TestRandomized:
+    def test_matches_sorted_order_after_random_ops(self):
+        rng = random.Random(42)
+        heap = IndexedHeap()
+        reference: dict[int, float] = {}
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.5 or not reference:
+                item = step
+                key = rng.uniform(0, 100)
+                heap.push(item, key)
+                reference[item] = key
+            elif op < 0.8:
+                item = rng.choice(list(reference))
+                key = rng.uniform(0, 100)
+                heap.update(item, key)
+                reference[item] = key
+            else:
+                item = rng.choice(list(reference))
+                heap.remove(item)
+                del reference[item]
+            if step % 200 == 0:
+                heap.check_invariant()
+        drained = [heap.pop() for _ in range(len(heap))]
+        assert [k for _, k in drained] == sorted(reference.values())
+        assert {i for i, _ in drained} == set(reference)
+
+    def test_tuple_keys_break_ties_deterministically(self):
+        heap = IndexedHeap()
+        heap.push(7, (1.0, 7))
+        heap.push(3, (1.0, 3))
+        heap.push(5, (1.0, 5))
+        assert [heap.pop()[0] for _ in range(3)] == [3, 5, 7]

@@ -1,0 +1,67 @@
+"""Unit tests for the set-cover instance representation."""
+
+import pytest
+
+from repro import SetCoverError, UncoverableError
+from repro.setcover import SetCoverInstance, WeightedSet
+
+
+def make(n, collections):
+    return SetCoverInstance.from_collections(n, collections)
+
+
+class TestConstruction:
+    def test_from_collections(self):
+        instance = make(3, [(1.0, [0, 1]), (2.0, [2])])
+        assert instance.n_elements == 3
+        assert len(instance.sets) == 2
+        assert instance.sets[0].elements == (0, 1)
+
+    def test_payloads(self):
+        instance = SetCoverInstance.from_collections(
+            1, [(1.0, [0])], payloads=["fix"]
+        )
+        assert instance.sets[0].payload == "fix"
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SetCoverError):
+            WeightedSet(0, -1.0, (0,))
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(SetCoverError):
+            WeightedSet(0, 1.0, (0, 0))
+
+    def test_out_of_range_element_rejected(self):
+        with pytest.raises(SetCoverError):
+            make(2, [(1.0, [5])])
+
+    def test_non_consecutive_ids_rejected(self):
+        with pytest.raises(SetCoverError):
+            SetCoverInstance(1, [WeightedSet(1, 1.0, (0,))])
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(SetCoverError):
+            SetCoverInstance(-1, [])
+
+
+class TestDerived:
+    def test_element_to_sets(self):
+        instance = make(3, [(1.0, [0, 1]), (1.0, [1, 2]), (1.0, [2])])
+        assert instance.element_to_sets == ((0,), (0, 1), (1, 2))
+
+    def test_max_frequency(self):
+        instance = make(2, [(1.0, [0]), (1.0, [0]), (1.0, [0, 1])])
+        assert instance.max_frequency == 3
+
+    def test_max_frequency_empty(self):
+        assert make(0, []).max_frequency == 0
+
+    def test_check_coverable_passes(self):
+        make(2, [(1.0, [0, 1])]).check_coverable()
+
+    def test_check_coverable_fails(self):
+        with pytest.raises(UncoverableError):
+            make(2, [(1.0, [0])]).check_coverable()
+
+    def test_repr(self):
+        assert "|U|=2" in repr(make(2, [(1.0, [0, 1])]))

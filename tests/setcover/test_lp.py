@@ -1,0 +1,116 @@
+"""Unit tests for the LP relaxation bound and frequency rounding."""
+
+import pytest
+
+from repro import UncoverableError
+from repro.setcover import SetCoverInstance, exact_cover, greedy_cover, is_cover
+from repro.setcover.lp import lp_lower_bound, lp_rounding_cover
+
+
+def make(n, collections):
+    return SetCoverInstance.from_collections(n, collections)
+
+
+class TestLowerBound:
+    def test_bound_below_exact(self):
+        instance = make(
+            4,
+            [
+                (3.0, [0, 1]),
+                (3.0, [2, 3]),
+                (1.0, [0]),
+                (2.0, [1, 2]),
+                (1.5, [3]),
+            ],
+        )
+        bound = lp_lower_bound(instance)
+        optimal = exact_cover(instance)
+        assert bound <= optimal.weight + 1e-9
+
+    def test_integral_instance_tight(self):
+        # disjoint singletons: LP = ILP.
+        instance = make(3, [(1.0, [0]), (2.0, [1]), (3.0, [2])])
+        assert lp_lower_bound(instance) == pytest.approx(6.0)
+
+    def test_fractional_gap(self):
+        # classic fractional vertex-cover-like instance: each pair of the
+        # three elements shares a set; LP puts 0.5 everywhere = 1.5 while
+        # any integral cover needs two sets = 2.
+        instance = make(
+            3, [(1.0, [0, 1]), (1.0, [1, 2]), (1.0, [0, 2])]
+        )
+        assert lp_lower_bound(instance) == pytest.approx(1.5)
+        assert exact_cover(instance).weight == pytest.approx(2.0)
+
+    def test_empty_universe(self):
+        assert lp_lower_bound(make(0, [(1.0, [])])) == 0.0
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(UncoverableError):
+            lp_lower_bound(make(2, [(1.0, [0])]))
+
+
+class TestRounding:
+    def test_produces_valid_cover(self):
+        instance = make(
+            5,
+            [
+                (2.0, [0, 1, 2]),
+                (1.0, [2, 3]),
+                (1.0, [3, 4]),
+                (0.5, [0]),
+                (0.5, [4]),
+            ],
+        )
+        cover = lp_rounding_cover(instance)
+        assert is_cover(instance, cover.selected)
+
+    def test_frequency_factor_guarantee(self):
+        import random
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            n = rng.randint(3, 15)
+            collections = [(float(rng.randint(1, 9)), [e]) for e in range(n)]
+            for _ in range(rng.randint(1, 10)):
+                size = rng.randint(1, min(4, n))
+                collections.append(
+                    (float(rng.randint(1, 9)), sorted(rng.sample(range(n), size)))
+                )
+            instance = make(n, collections)
+            cover = lp_rounding_cover(instance)
+            assert is_cover(instance, cover.selected)
+            bound = cover.stats["lp_bound"]
+            assert cover.weight <= instance.max_frequency * bound + 1e-6
+
+    def test_bound_recorded_in_stats(self):
+        instance = make(1, [(2.0, [0])])
+        cover = lp_rounding_cover(instance)
+        assert cover.stats["lp_bound"] == pytest.approx(2.0)
+        assert cover.weight == pytest.approx(2.0)
+
+    def test_empty_instance(self):
+        cover = lp_rounding_cover(make(0, []))
+        assert cover.selected == ()
+
+    def test_registry_access(self, paper):
+        from repro import repair_database
+
+        result = repair_database(
+            paper.instance, paper.constraints, algorithm="lp-rounding"
+        )
+        assert result.verified
+
+    def test_rounding_vs_greedy_on_repair_problem(self, small_clientbuy):
+        from repro.repair import build_repair_problem
+
+        problem = build_repair_problem(
+            small_clientbuy.instance, small_clientbuy.constraints
+        )
+        rounded = lp_rounding_cover(problem.setcover)
+        greedy = greedy_cover(problem.setcover)
+        assert is_cover(problem.setcover, rounded.selected)
+        # both sit between the LP bound and f * bound.
+        bound = rounded.stats["lp_bound"]
+        assert bound <= greedy.weight + 1e-9
+        assert bound <= rounded.weight + 1e-9

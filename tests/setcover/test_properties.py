@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the set-cover solvers.
+
+Invariants checked on arbitrary coverable instances:
+
+* every solver returns a valid cover with a correctly-summed weight;
+* greedy and modified greedy return the *same* cover (same tie-breaks);
+* layer and modified layer agree on weight;
+* exact <= every approximation <= H_n * exact (greedy) / f * exact (layer);
+* the indexed heap behaves like a sorted multiset.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.setcover import (
+    SetCoverInstance,
+    exact_cover,
+    greedy_cover,
+    is_cover,
+    layer_cover,
+    modified_greedy_cover,
+    modified_layer_cover,
+)
+from repro.setcover.heap import IndexedHeap
+
+
+@st.composite
+def coverable_instances(draw, max_elements=16, max_sets=24):
+    """Random instance where every element is in at least one set."""
+    n = draw(st.integers(min_value=1, max_value=max_elements))
+    n_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = []
+    for _ in range(n_sets):
+        elements = draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+        )
+        weight = draw(st.integers(min_value=0, max_value=40)) / 4.0
+        sets.append((weight, sorted(elements)))
+    covered = set()
+    for _, elements in sets:
+        covered.update(elements)
+    missing = [e for e in range(n) if e not in covered]
+    if missing:
+        sets.append((1.0, missing))
+    return SetCoverInstance.from_collections(n, sets)
+
+
+@given(coverable_instances())
+@settings(max_examples=120, deadline=None)
+def test_all_solvers_return_valid_covers(instance):
+    for solver in (greedy_cover, modified_greedy_cover, layer_cover, modified_layer_cover):
+        cover = solver(instance)
+        assert is_cover(instance, cover.selected)
+        expected = sum(instance.sets[i].weight for i in set(cover.selected))
+        assert math.isclose(cover.weight, expected, rel_tol=1e-9, abs_tol=1e-9)
+        assert len(set(cover.selected)) == len(cover.selected)  # no repeats
+
+
+@given(coverable_instances())
+@settings(max_examples=120, deadline=None)
+def test_modified_greedy_equals_greedy(instance):
+    assert (
+        greedy_cover(instance).selected
+        == modified_greedy_cover(instance).selected
+    )
+
+
+@given(coverable_instances())
+@settings(max_examples=120, deadline=None)
+def test_modified_layer_matches_layer_weight(instance):
+    plain = layer_cover(instance)
+    modified = modified_layer_cover(instance)
+    assert math.isclose(plain.weight, modified.weight, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(coverable_instances(max_elements=10, max_sets=14))
+@settings(max_examples=60, deadline=None)
+def test_approximation_bounds(instance):
+    optimal = exact_cover(instance)
+    greedy = greedy_cover(instance)
+    layer = layer_cover(instance)
+    assert optimal.weight <= greedy.weight + 1e-9
+    assert optimal.weight <= layer.weight + 1e-9
+    # Chvátal: greedy <= H_d * OPT with d the largest set size.
+    largest = max(len(s.elements) for s in instance.sets)
+    harmonic = sum(1.0 / i for i in range(1, largest + 1))
+    assert greedy.weight <= harmonic * optimal.weight + 1e-6
+    # layering: layer <= f * OPT with f the max element frequency.
+    assert layer.weight <= instance.max_frequency * optimal.weight + 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 100)), min_size=0, max_size=60
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_heap_drains_sorted(pairs):
+    heap = IndexedHeap()
+    reference = {}
+    for item, key in pairs:
+        if item in reference:
+            heap.update(item, (key, item))
+        else:
+            heap.push(item, (key, item))
+        reference[item] = (key, item)
+    drained = [heap.pop()[1] for _ in range(len(heap))]
+    assert drained == sorted(reference.values())

@@ -1,0 +1,105 @@
+"""Property-based tests for decomposition, pruning, and enumeration."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.setcover import (
+    SetCoverInstance,
+    decompose,
+    exact_cover,
+    exact_decomposed_cover,
+    greedy_cover,
+    is_cover,
+    layer_cover,
+    minimize_cover,
+    modified_greedy_cover,
+    solve_by_components,
+)
+from repro.setcover.enumerate import enumerate_optimal_covers
+
+
+@st.composite
+def coverable_instances(draw, max_elements=14, max_sets=20):
+    n = draw(st.integers(min_value=1, max_value=max_elements))
+    n_sets = draw(st.integers(min_value=1, max_value=max_sets))
+    sets = []
+    for _ in range(n_sets):
+        elements = draw(
+            st.sets(st.integers(0, n - 1), min_size=1, max_size=min(5, n))
+        )
+        weight = draw(st.integers(0, 32)) / 4.0
+        sets.append((weight, sorted(elements)))
+    covered = set()
+    for _, elements in sets:
+        covered.update(elements)
+    missing = [e for e in range(n) if e not in covered]
+    if missing:
+        sets.append((1.0, missing))
+    return SetCoverInstance.from_collections(n, sets)
+
+
+@given(coverable_instances())
+@settings(max_examples=100, deadline=None)
+def test_decomposition_partitions_universe(instance):
+    components = decompose(instance)
+    all_elements = [e for c in components for e in c.element_ids]
+    assert sorted(all_elements) == list(range(instance.n_elements))
+    seen_sets = [s for c in components for s in c.set_ids]
+    assert len(seen_sets) == len(set(seen_sets))
+    nonempty = [s.set_id for s in instance.sets if s.elements]
+    assert sorted(seen_sets) == nonempty
+
+
+@given(coverable_instances())
+@settings(max_examples=80, deadline=None)
+def test_component_solving_matches_monolithic_greedy(instance):
+    whole = greedy_cover(instance)
+    split = solve_by_components(instance, greedy_cover)
+    assert math.isclose(whole.weight, split.weight, rel_tol=1e-9, abs_tol=1e-9)
+    assert is_cover(instance, split.selected)
+
+
+@given(coverable_instances(max_elements=10, max_sets=14))
+@settings(max_examples=60, deadline=None)
+def test_exact_decomposed_equals_exact(instance):
+    assert math.isclose(
+        exact_decomposed_cover(instance).weight,
+        exact_cover(instance).weight,
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+
+
+@given(coverable_instances())
+@settings(max_examples=100, deadline=None)
+def test_pruning_preserves_coverage_and_never_hurts(instance):
+    for solver in (greedy_cover, layer_cover, modified_greedy_cover):
+        cover = solver(instance)
+        pruned = minimize_cover(instance, cover)
+        assert is_cover(instance, pruned.selected)
+        assert pruned.weight <= cover.weight + 1e-9
+        assert set(pruned.selected) <= set(cover.selected)
+
+
+@given(coverable_instances(max_elements=8, max_sets=10))
+@settings(max_examples=40, deadline=None)
+def test_enumeration_contains_exact_weight_and_only_optima(instance):
+    optimum = exact_cover(instance).weight
+    covers = enumerate_optimal_covers(instance)
+    assert covers
+    for cover in covers:
+        assert is_cover(instance, cover)
+        weight = sum(instance.sets[i].weight for i in cover)
+        assert math.isclose(weight, optimum, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(coverable_instances(max_elements=8, max_sets=10))
+@settings(max_examples=40, deadline=None)
+def test_pruned_covers_are_irredundant(instance):
+    cover = minimize_cover(instance, layer_cover(instance))
+    for candidate in cover.selected:
+        rest = [s for s in cover.selected if s != candidate]
+        assert not is_cover(instance, rest)

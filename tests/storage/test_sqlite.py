@@ -1,0 +1,106 @@
+"""Unit tests for the sqlite backend (Algorithm 2's SQL views + exports)."""
+
+import pytest
+
+from repro import BackendError, find_all_violations, repair_database
+from repro.storage import ExportMode, SqliteBackend
+from repro.workloads import client_buy_workload
+
+
+@pytest.fixture
+def backend(paper_pub):
+    with SqliteBackend.from_instance(paper_pub.instance) as backend:
+        yield backend
+
+
+class TestRoundTrip:
+    def test_load_matches_source(self, paper_pub, backend):
+        loaded = backend.load_instance(paper_pub.schema)
+        assert loaded == paper_pub.instance
+
+    def test_file_persistence(self, paper, tmp_path):
+        path = tmp_path / "papers.db"
+        SqliteBackend.from_instance(paper.instance, str(path)).close()
+        with SqliteBackend(str(path)) as reopened:
+            assert reopened.load_instance(paper.schema) == paper.instance
+
+    def test_create_tables_idempotent(self, paper):
+        backend = SqliteBackend()
+        backend.create_tables(paper.schema)
+        backend.create_tables(paper.schema)          # IF NOT EXISTS
+        backend.write_instance(paper.instance)
+        assert backend.load_instance(paper.schema).count() == 3
+
+    def test_primary_key_enforced(self, paper, backend):
+        with pytest.raises(BackendError):
+            backend.write_instance(paper.instance)   # duplicate keys
+
+    def test_missing_table_raises(self, paper):
+        backend = SqliteBackend()
+        with pytest.raises(BackendError):
+            backend.load_instance(paper.schema)
+
+
+class TestSqlViolationDetection:
+    def test_matches_in_memory_detector(self, paper_pub, backend):
+        from_sql = backend.find_violations(paper_pub.schema, paper_pub.constraints)
+        in_memory = find_all_violations(paper_pub.instance, paper_pub.constraints)
+        assert len(from_sql) == len(in_memory) == 4
+        as_labels = lambda vs: {
+            (v.constraint.name, frozenset(t.ref for t in v)) for v in vs
+        }
+        assert as_labels(from_sql) == as_labels(in_memory)
+
+    def test_matches_on_random_workload(self):
+        workload = client_buy_workload(30, inconsistency_ratio=0.5, seed=4)
+        with SqliteBackend.from_instance(workload.instance) as backend:
+            from_sql = backend.find_violations(workload.schema, workload.constraints)
+        in_memory = find_all_violations(workload.instance, workload.constraints)
+        as_labels = lambda vs: {
+            (v.constraint.name, frozenset(t.ref for t in v)) for v in vs
+        }
+        assert as_labels(from_sql) == as_labels(in_memory)
+
+    def test_consistent_database_empty(self, paper):
+        from repro import DatabaseInstance
+
+        consistent = DatabaseInstance.from_rows(
+            paper.schema, {"Paper": [("E3", 1, 70, 1)]}
+        )
+        with SqliteBackend.from_instance(consistent) as backend:
+            assert backend.find_violations(paper.schema, paper.constraints) == ()
+
+
+class TestExports:
+    def test_update_in_place(self, paper_pub, backend):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        note = backend.export_repair(result, ExportMode.UPDATE)
+        assert "rows in place" in note
+        assert backend.load_instance(paper_pub.schema) == result.repaired
+        assert backend.find_violations(paper_pub.schema, paper_pub.constraints) == ()
+
+    def test_insert_new_tables(self, paper_pub, backend):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        backend.export_repair(result, ExportMode.INSERT_NEW)
+        # source tables untouched, *_repaired tables hold the repair.
+        assert backend.load_instance(paper_pub.schema) == paper_pub.instance
+        rows = backend.execute("SELECT id, ef, prc, cf FROM Paper_repaired")
+        repaired = {tuple(r) for r in rows}
+        expected = {t.values for t in result.repaired.tuples("Paper")}
+        assert repaired == expected
+
+    def test_dump_text(self, paper_pub, backend, tmp_path):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        destination = tmp_path / "dump.txt"
+        backend.export_repair(result, ExportMode.DUMP_TEXT, str(destination))
+        content = destination.read_text()
+        assert "Paper" in content and "Pub" in content
+
+    def test_dump_needs_destination(self, paper_pub, backend):
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        with pytest.raises(BackendError):
+            backend.export_repair(result, ExportMode.DUMP_TEXT)
+
+    def test_raw_execute_guard(self, backend):
+        with pytest.raises(BackendError):
+            backend.execute("SELECT * FROM missing_table")

@@ -1,0 +1,70 @@
+"""Unit tests for the repro-repair command-line interface."""
+
+import json
+
+import pytest
+
+from repro.system.cli import build_parser, main
+
+
+@pytest.fixture
+def config_path(tmp_path):
+    data = {
+        "schema": {
+            "relations": [
+                {
+                    "name": "Client",
+                    "key": ["id"],
+                    "attributes": [
+                        {"name": "id"},
+                        {"name": "a", "flexible": True},
+                        {"name": "c", "flexible": True},
+                    ],
+                }
+            ]
+        },
+        "constraints": ["ic1: NOT(Client(id, a, c), a < 18, c > 50)"],
+        "source": {
+            "backend": "memory",
+            "rows": {"Client": [[1, 15, 60], [2, 30, 10]]},
+        },
+    }
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCli:
+    def test_successful_run(self, config_path, capsys):
+        assert main([config_path]) == 0
+        out = capsys.readouterr().out
+        assert "violations before: 1" in out
+        assert "verified D'|=IC  : True" in out
+
+    def test_dry_run(self, config_path, capsys):
+        assert main([config_path, "--dry-run"]) == 0
+        assert "dry run" in capsys.readouterr().out
+
+    def test_changes_flag(self, config_path, capsys):
+        assert main([config_path, "--changes"]) == 0
+        assert "Client[1]" in capsys.readouterr().out
+
+    def test_algorithm_override(self, config_path, capsys):
+        assert main([config_path, "--algorithm", "layer", "--dry-run"]) == 0
+        assert "layer" in capsys.readouterr().out
+
+    def test_metric_override(self, config_path, capsys):
+        assert main([config_path, "--metric", "l2", "--dry-run"]) == 0
+        assert "L2" in capsys.readouterr().out
+
+    def test_missing_config_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_algorithm_fails(self, config_path, capsys):
+        assert main([config_path, "--algorithm", "quantum"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_help_mentions_algorithms(self):
+        parser = build_parser()
+        assert "modified-greedy" in parser.format_help()

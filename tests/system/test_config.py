@@ -1,0 +1,122 @@
+"""Unit tests for the repair-program configuration (Figure 1)."""
+
+import json
+
+import pytest
+
+from repro import ConfigError
+from repro.storage.base import ExportMode
+from repro.system import RepairConfig
+
+
+def minimal_config():
+    return {
+        "schema": {
+            "relations": [
+                {
+                    "name": "Client",
+                    "key": ["id"],
+                    "attributes": [
+                        {"name": "id"},
+                        {"name": "a", "flexible": True},
+                        {"name": "c", "flexible": True, "weight": 2.0},
+                    ],
+                }
+            ]
+        },
+        "constraints": ["ic1: NOT(Client(id, a, c), a < 18, c > 50)"],
+        "source": {"backend": "memory", "rows": {"Client": [[1, 15, 60]]}},
+    }
+
+
+class TestParsing:
+    def test_minimal_config(self):
+        config = RepairConfig.from_dict(minimal_config())
+        assert config.schema.relation("Client").attribute("c").weight == 2.0
+        assert config.constraints[0].name == "ic1"
+        assert config.algorithm == "modified-greedy"
+        assert config.metric == "l1"
+        assert config.export_mode is ExportMode.UPDATE
+
+    def test_string_attributes_are_hard(self):
+        data = minimal_config()
+        data["schema"]["relations"][0]["attributes"][0] = "id"
+        config = RepairConfig.from_dict(data)
+        assert not config.schema.relation("Client").attribute("id").is_flexible
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(minimal_config()))
+        config = RepairConfig.from_file(path)
+        assert config.source["backend"] == "memory"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            RepairConfig.from_file(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            RepairConfig.from_file(path)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.pop("schema"), "schema"),
+            (lambda d: d.pop("constraints"), "constraints"),
+            (lambda d: d.update(constraints=[]), "constraints"),
+            (lambda d: d.update(algorithm="quantum"), "algorithm"),
+            (lambda d: d.update(metric="hamming"), "metric"),
+            (lambda d: d.update(violation_detection="psychic"), "violation_detection"),
+            (lambda d: d.update(source={"backend": "oracle"}), "backend"),
+            (lambda d: d.update(source={"backend": "sqlite"}), "path"),
+            (lambda d: d.update(export={"mode": "teleport"}), "mode"),
+            (lambda d: d.update(export={"mode": "dump"}), "destination"),
+        ],
+    )
+    def test_rejections(self, mutate, message):
+        data = minimal_config()
+        mutate(data)
+        with pytest.raises(ConfigError, match=message):
+            RepairConfig.from_dict(data)
+
+    def test_bad_constraint_text(self):
+        data = minimal_config()
+        data["constraints"] = ["NOT(Client(id, a, c), a <"]
+        with pytest.raises(ConfigError, match="bad constraint"):
+            RepairConfig.from_dict(data)
+
+    def test_constraint_arity_checked(self):
+        data = minimal_config()
+        data["constraints"] = ["NOT(Client(id, a), a < 18)"]
+        with pytest.raises(ConfigError):
+            RepairConfig.from_dict(data)
+
+    def test_relation_missing_key_field(self):
+        data = minimal_config()
+        del data["schema"]["relations"][0]["key"]
+        with pytest.raises(ConfigError, match="key"):
+            RepairConfig.from_dict(data)
+
+    def test_flexible_key_rejected(self):
+        data = minimal_config()
+        data["schema"]["relations"][0]["attributes"][0] = {
+            "name": "id",
+            "flexible": True,
+        }
+        with pytest.raises(ConfigError):
+            RepairConfig.from_dict(data)
+
+    def test_root_must_be_object(self):
+        with pytest.raises(ConfigError):
+            RepairConfig.from_dict(["not", "an", "object"])
+
+    def test_export_modes_accepted(self):
+        for mode, extra in [("update", {}), ("insert", {}), ("dump", {"destination": "x.txt"})]:
+            data = minimal_config()
+            data["export"] = {"mode": mode, **extra}
+            config = RepairConfig.from_dict(data)
+            assert config.export_mode is ExportMode.from_name(mode)

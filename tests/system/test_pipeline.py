@@ -1,0 +1,121 @@
+"""Unit tests for the Figure-1 pipeline (RepairProgram)."""
+
+import pytest
+
+from repro import is_consistent
+from repro.storage import SqliteBackend
+from repro.system import RepairConfig, RepairProgram
+from repro.workloads import client_buy_workload
+
+CLIENT_BUY_SCHEMA = {
+    "relations": [
+        {
+            "name": "Client",
+            "key": ["id"],
+            "attributes": [
+                {"name": "id"},
+                {"name": "a", "flexible": True},
+                {"name": "c", "flexible": True},
+            ],
+        },
+        {
+            "name": "Buy",
+            "key": ["id", "i"],
+            "attributes": [
+                {"name": "id"},
+                {"name": "i"},
+                {"name": "p", "flexible": True},
+            ],
+        },
+    ]
+}
+CLIENT_BUY_ICS = [
+    "ic1: NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)",
+    "ic2: NOT(Client(id, a, c), a < 18, c > 50)",
+]
+
+
+def memory_config(rows, **overrides):
+    data = {
+        "schema": CLIENT_BUY_SCHEMA,
+        "constraints": CLIENT_BUY_ICS,
+        "source": {"backend": "memory", "rows": rows},
+    }
+    data.update(overrides)
+    return RepairConfig.from_dict(data)
+
+
+ROWS = {
+    "Client": [[1, 15, 60], [2, 40, 10]],
+    "Buy": [[1, 0, 30], [2, 0, 99]],
+}
+
+
+class TestMemoryPipeline:
+    def test_run_repairs_and_updates(self):
+        program = RepairProgram(memory_config(ROWS))
+        report = program.run()
+        assert report.result.verified
+        assert report.result.violations_before == 2
+        assert "updated" in report.export_note
+        # UPDATE export: the backend now holds the repaired data.
+        repaired = program.backend.load_instance(report.config.schema)
+        assert is_consistent(repaired, report.config.constraints)
+
+    def test_dry_run_leaves_backend_untouched(self):
+        program = RepairProgram(memory_config(ROWS))
+        report = program.run(export=False)
+        assert report.export_note == "dry run (no export)"
+        loaded = program.backend.load_instance(report.config.schema)
+        assert loaded.get("Client", (1,))["c"] == 60      # still dirty
+
+    def test_summary_contains_export_note(self):
+        report = RepairProgram(memory_config(ROWS)).run(export=False)
+        assert "export" in report.summary()
+
+    def test_algorithm_override(self):
+        config = memory_config(ROWS, algorithm="layer")
+        report = RepairProgram(config).run(export=False)
+        assert report.result.algorithm == "layer"
+
+
+class TestSqlitePipeline:
+    @pytest.fixture
+    def sqlite_config(self, tmp_path):
+        workload = client_buy_workload(25, inconsistency_ratio=0.5, seed=8)
+        path = tmp_path / "pipeline.db"
+        SqliteBackend.from_instance(workload.instance, str(path)).close()
+        return RepairConfig.from_dict(
+            {
+                "schema": CLIENT_BUY_SCHEMA,
+                "constraints": CLIENT_BUY_ICS,
+                "violation_detection": "sql",
+                "source": {"backend": "sqlite", "path": str(path)},
+                "export": {"mode": "update"},
+            }
+        )
+
+    def test_end_to_end_sql_detection(self, sqlite_config):
+        program = RepairProgram(sqlite_config)
+        report = program.run()
+        assert report.result.verified
+        with SqliteBackend(sqlite_config.source["path"]) as check:
+            assert (
+                check.find_violations(
+                    sqlite_config.schema, sqlite_config.constraints
+                )
+                == ()
+            )
+
+    def test_sql_and_memory_detection_agree(self, sqlite_config):
+        program = RepairProgram(sqlite_config)
+        instance = program.load()
+        sql_violations = program.backend.find_violations(
+            sqlite_config.schema, sqlite_config.constraints
+        )
+        from repro import find_all_violations
+
+        memory_violations = find_all_violations(
+            instance, sqlite_config.constraints
+        )
+        assert len(sql_violations) == len(memory_violations)

@@ -1,0 +1,179 @@
+"""Tests for deletion/mixed repair semantics through the Figure-1 pipeline."""
+
+import json
+
+import pytest
+
+from repro import ConfigError, is_consistent
+from repro.storage import SqliteBackend
+from repro.system import RepairConfig, RepairProgram
+from repro.system.cli import main
+from repro.workloads import client_buy_workload
+
+SCHEMA = {
+    "relations": [
+        {
+            "name": "Client",
+            "key": ["id"],
+            "attributes": [
+                {"name": "id"},
+                {"name": "a", "flexible": True},
+                {"name": "c", "flexible": True},
+            ],
+        },
+        {
+            "name": "Buy",
+            "key": ["id", "i"],
+            "attributes": [
+                {"name": "id"},
+                {"name": "i"},
+                {"name": "p", "flexible": True},
+            ],
+        },
+    ]
+}
+ICS = [
+    "ic1: NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)",
+    "ic2: NOT(Client(id, a, c), a < 18, c > 50)",
+]
+ROWS = {
+    "Client": [[1, 15, 60], [2, 40, 10]],
+    "Buy": [[1, 0, 30], [2, 0, 99]],
+}
+
+
+def config_for(**extra):
+    data = {
+        "schema": SCHEMA,
+        "constraints": ICS,
+        "source": {"backend": "memory", "rows": ROWS},
+    }
+    data.update(extra)
+    return RepairConfig.from_dict(data)
+
+
+class TestConfig:
+    def test_semantics_parsed(self):
+        config = config_for(repair_semantics="delete")
+        assert config.repair_semantics == "delete"
+
+    def test_default_is_update(self):
+        assert config_for().repair_semantics == "update"
+
+    def test_bad_semantics_rejected(self):
+        with pytest.raises(ConfigError, match="repair_semantics"):
+            config_for(repair_semantics="teleport")
+
+    def test_table_weights_parsed(self):
+        config = config_for(
+            repair_semantics="delete", table_weights={"Client": 2.0}
+        )
+        assert config.table_weights == {"Client": 2.0}
+
+    def test_table_weights_unknown_relation(self):
+        with pytest.raises(ConfigError, match="unknown relation"):
+            config_for(repair_semantics="delete", table_weights={"Nope": 1.0})
+
+    def test_table_weights_need_deletion_semantics(self):
+        with pytest.raises(ConfigError, match="table_weights"):
+            config_for(table_weights={"Client": 1.0})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            config_for(repair_semantics="delete", table_weights={"Client": 0})
+
+
+class TestDeletionPipeline:
+    def test_memory_delete_run(self):
+        program = RepairProgram(config_for(repair_semantics="delete"))
+        report = program.run()
+        assert report.deletion is not None
+        assert report.deletion.deletions >= 1
+        repaired = program.backend.load_instance(report.config.schema)
+        assert is_consistent(repaired, report.config.constraints)
+        # update semantics would have kept all 4 tuples.
+        assert repaired.count() < 4
+
+    def test_memory_mixed_run(self):
+        program = RepairProgram(
+            config_for(
+                repair_semantics="mixed",
+                table_weights={"Client": 50.0, "Buy": 50.0},
+            )
+        )
+        report = program.run()
+        # deleting costs 50: everything is repaired by value updates.
+        assert report.deletion.deletions == 0
+        repaired = program.backend.load_instance(report.config.schema)
+        assert is_consistent(repaired, report.config.constraints)
+        assert repaired.count() == 4
+
+    def test_summary_mentions_deletions(self):
+        program = RepairProgram(config_for(repair_semantics="delete"))
+        report = program.run(export=False)
+        assert "tuples deleted" in report.summary()
+
+    def test_sqlite_delete_rewrites_tables(self, tmp_path):
+        workload = client_buy_workload(25, inconsistency_ratio=0.5, seed=2)
+        path = str(tmp_path / "del.db")
+        SqliteBackend.from_instance(workload.instance, path).close()
+        config = RepairConfig.from_dict(
+            {
+                "schema": SCHEMA,
+                "constraints": ICS,
+                "repair_semantics": "delete",
+                "source": {"backend": "sqlite", "path": path},
+                "export": {"mode": "update"},
+            }
+        )
+        report = RepairProgram(config).run()
+        assert report.deletion.deletions > 0
+        with SqliteBackend(path) as check:
+            reloaded = check.load_instance(config.schema)
+            assert is_consistent(reloaded, config.constraints)
+            assert reloaded.count() == len(workload.instance) - report.deletion.deletions
+
+    def test_sqlite_insert_new_snapshot(self, tmp_path):
+        workload = client_buy_workload(15, inconsistency_ratio=0.5, seed=3)
+        path = str(tmp_path / "snap.db")
+        SqliteBackend.from_instance(workload.instance, path).close()
+        config = RepairConfig.from_dict(
+            {
+                "schema": SCHEMA,
+                "constraints": ICS,
+                "repair_semantics": "delete",
+                "source": {"backend": "sqlite", "path": path},
+                "export": {"mode": "insert"},
+            }
+        )
+        report = RepairProgram(config).run()
+        with SqliteBackend(path) as check:
+            original = check.load_instance(config.schema)
+            assert original == workload.instance      # untouched
+            repaired_clients = check.execute("SELECT COUNT(*) FROM Client_repaired")
+            assert repaired_clients[0][0] == report.deletion.repaired.count("Client")
+
+
+class TestCliSemantics:
+    @pytest.fixture
+    def config_path(self, tmp_path):
+        data = {
+            "schema": SCHEMA,
+            "constraints": ICS,
+            "source": {"backend": "memory", "rows": ROWS},
+        }
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_semantics_override(self, config_path, capsys):
+        assert main([config_path, "--semantics", "delete", "--changes"]) == 0
+        out = capsys.readouterr().out
+        assert "tuples deleted" in out
+        assert "deleted" in out
+
+    def test_profile_only(self, config_path, capsys):
+        assert main([config_path, "--profile-only"]) == 0
+        out = capsys.readouterr().out
+        assert "violations=2" in out
+        assert "degree histogram" in out

@@ -1,0 +1,69 @@
+"""Unit tests for degree of inconsistency and profiling (Definition 2.4)."""
+
+from repro import find_all_violations, inconsistency_profile
+from repro.violations.degree import degree_of_database, degree_of_tuple
+
+
+class TestDegree:
+    def test_paper_example_degrees(self, paper_pub):
+        violations = find_all_violations(paper_pub.instance, paper_pub.constraints)
+        t1 = paper_pub.instance.get("Paper", ("B1",))
+        t2 = paper_pub.instance.get("Paper", ("C2",))
+        t3 = paper_pub.instance.get("Paper", ("E3",))
+        p1 = paper_pub.instance.get("Pub", (235,))
+        # t1 is in ({t1},ic1), ({t1},ic2), ({t1,p1},ic3).
+        assert degree_of_tuple(violations, t1) == 3
+        assert degree_of_tuple(violations, t2) == 1
+        assert degree_of_tuple(violations, t3) == 0
+        assert degree_of_tuple(violations, p1) == 1
+        assert degree_of_database(violations) == 3
+
+    def test_consistent_database_degree_zero(self, paper_pub):
+        assert degree_of_database([]) == 0
+
+    def test_profile_counts(self, paper_pub):
+        profile = inconsistency_profile(paper_pub.instance, paper_pub.constraints)
+        assert profile.total_tuples == 6
+        assert profile.violation_count == 4
+        assert profile.per_constraint == {"ic1": 2, "ic2": 1, "ic3": 1}
+        assert profile.inconsistent_tuples == 3      # t1, t2, p1
+        assert profile.max_degree == 3
+        assert profile.degree_histogram == {1: 2, 3: 1}
+
+    def test_profile_ratio(self, paper_pub):
+        profile = inconsistency_profile(paper_pub.instance, paper_pub.constraints)
+        assert profile.inconsistent_ratio == 3 / 6
+        assert not profile.is_consistent
+
+    def test_profile_with_precomputed_violations(self, paper_pub):
+        violations = find_all_violations(paper_pub.instance, paper_pub.constraints)
+        profile = inconsistency_profile(
+            paper_pub.instance, paper_pub.constraints, violations=violations
+        )
+        assert profile.violation_count == len(violations)
+
+    def test_profile_of_consistent_instance(self, paper_pub):
+        from repro import DatabaseInstance
+
+        consistent = DatabaseInstance.from_rows(
+            paper_pub.schema,
+            {"Paper": [("E3", 1, 70, 1)], "Pub": []},
+        )
+        profile = inconsistency_profile(consistent, paper_pub.constraints)
+        assert profile.is_consistent
+        assert profile.inconsistent_ratio == 0.0
+        assert profile.max_degree == 0
+
+    def test_profile_str(self, paper_pub):
+        text = str(inconsistency_profile(paper_pub.instance, paper_pub.constraints))
+        assert "violations=4" in text
+        assert "max_degree=3" in text
+
+    def test_census_degree_bounded_by_household(self, small_census):
+        profile = inconsistency_profile(
+            small_census.instance, small_census.constraints
+        )
+        household_size = small_census.params["household_size"]
+        # each person joins at most one household; violations stay inside
+        # the household, so the degree is bounded by its size + own caps.
+        assert profile.max_degree <= household_size + 1

@@ -1,0 +1,108 @@
+"""Unit tests for the persistent join-index cache."""
+
+import pytest
+
+from repro import find_all_violations
+from repro.violations.detector import find_violations_involving
+from repro.violations.indexes import JoinIndexCache
+from repro.workloads import client_buy_workload
+
+
+@pytest.fixture
+def setup():
+    workload = client_buy_workload(30, inconsistency_ratio=0.0, seed=5)
+    instance = workload.instance.copy()
+    cache = JoinIndexCache(instance)
+    return workload, instance, cache
+
+
+class TestLazyBuild:
+    def test_index_built_on_first_get(self, setup):
+        workload, instance, cache = setup
+        assert cache.built_signatures == ()
+        index = cache.get(("Client", (0,)))
+        assert cache.built_signatures == (("Client", (0,)),)
+        # one bucket per client id, each with the single client tuple.
+        assert len(index) == instance.count("Client")
+
+    def test_composite_positions(self, setup):
+        _workload, instance, cache = setup
+        index = cache.get(("Buy", (0, 1)))
+        total = sum(len(bucket) for bucket in index.values())
+        assert total == instance.count("Buy")
+
+    def test_getitem_raises_for_unknown_relation(self, setup):
+        _w, _i, cache = setup
+        assert cache.get(("Nope", (0,))) is None
+        with pytest.raises(KeyError):
+            cache[("Nope", (0,))]
+
+    def test_check_consistent_on_fresh_cache(self, setup):
+        _w, _i, cache = setup
+        cache.get(("Client", (0,)))
+        cache.check_consistent()
+
+
+class TestMaintenance:
+    def test_insert_updates_built_indexes(self, setup):
+        _workload, instance, cache = setup
+        cache.get(("Client", (0,)))
+        tup = instance.insert_row("Client", (999, 30, 10))
+        cache.notify_insert(tup)
+        cache.check_consistent()
+        assert cache.get(("Client", (0,)))[(999,)] == [tup]
+
+    def test_remove_updates_built_indexes(self, setup):
+        _workload, instance, cache = setup
+        cache.get(("Client", (0,)))
+        removed = instance.delete("Client", (3,))
+        cache.notify_remove(removed)
+        cache.check_consistent()
+        assert (3,) not in cache.get(("Client", (0,)))
+
+    def test_replace_updates_built_indexes(self, setup):
+        _workload, instance, cache = setup
+        cache.get(("Client", (1,)))           # index on age position
+        old = instance.get("Client", (4,))
+        new = old.replace(a=55)
+        instance.replace_tuple(new)
+        cache.notify_replace(old, new)
+        cache.check_consistent()
+
+    def test_unbuilt_indexes_need_no_maintenance(self, setup):
+        _workload, instance, cache = setup
+        tup = instance.insert_row("Client", (999, 30, 10))
+        cache.notify_insert(tup)              # nothing built: no-op
+        cache.check_consistent()
+        # index built afterwards sees the new tuple anyway.
+        assert (999,) in cache.get(("Client", (0,)))
+
+    def test_remove_of_unknown_tuple_is_noop(self, setup):
+        workload, instance, cache = setup
+        cache.get(("Client", (0,)))
+        ghost = workload.instance.get("Client", (0,)).replace(a=77)
+        cache.notify_remove(ghost)            # value mismatch: tolerated
+        # bucket for key (0,) still holds the real tuple.
+        assert cache.get(("Client", (0,)))[(0,)]
+
+
+class TestDetectorIntegration:
+    def test_anchored_detection_with_cache_matches_full(self):
+        workload = client_buy_workload(40, inconsistency_ratio=0.0, seed=6)
+        instance = workload.instance.copy()
+        cache = JoinIndexCache(instance)
+        minor = instance.insert_row("Client", (777, 15, 90))
+        buy = instance.insert_row("Buy", (777, 0, 99))
+        cache.notify_insert(minor)
+        cache.notify_insert(buy)
+
+        anchored = find_violations_involving(
+            instance, workload.constraints, [minor, buy], raw_indexes=cache
+        )
+        full = find_all_violations(instance, workload.constraints)
+        as_labels = lambda vs: {
+            (v.constraint.name, frozenset(t.ref for t in v)) for v in vs
+        }
+        assert as_labels(anchored) == as_labels(full)
+        # the join constraint actually exercised the cache.
+        assert cache.built_signatures

@@ -1,0 +1,97 @@
+"""Unit tests for ground-truth corruption injection."""
+
+import pytest
+
+from repro import ReproError, is_consistent
+from repro.workloads import census_workload, client_buy_workload, corrupt
+
+
+@pytest.fixture
+def clean_census():
+    return census_workload(60, household_size=3, dirty_ratio=0.0, seed=0)
+
+
+class TestCorrupt:
+    def test_clean_instance_untouched(self, clean_census):
+        snapshot = clean_census.instance.copy()
+        corrupt(clean_census.instance, clean_census.constraints, seed=1)
+        assert clean_census.instance == snapshot
+
+    def test_clean_copy_equals_input(self, clean_census):
+        result = corrupt(clean_census.instance, clean_census.constraints, seed=1)
+        assert result.clean == clean_census.instance
+
+    def test_errors_recorded_faithfully(self, clean_census):
+        result = corrupt(
+            clean_census.instance, clean_census.constraints, cell_rate=0.2, seed=2
+        )
+        assert result.errors
+        for error in result.errors:
+            assert result.clean.resolve(error.ref)[error.attribute] == error.clean_value
+            assert result.dirty.resolve(error.ref)[error.attribute] == error.dirty_value
+            assert error.clean_value != error.dirty_value
+
+    def test_errors_move_against_fix_direction(self, clean_census):
+        # census attributes are all DOWN-fixed ('>' comparisons), so every
+        # injected error must raise the value.
+        result = corrupt(
+            clean_census.instance, clean_census.constraints, cell_rate=0.3, seed=3
+        )
+        assert all(e.dirty_value > e.clean_value for e in result.errors)
+
+    def test_up_direction_errors_lower_values(self):
+        workload = client_buy_workload(40, inconsistency_ratio=0.0, seed=4)
+        result = corrupt(
+            workload.instance, workload.constraints, cell_rate=0.5, seed=4
+        )
+        # Client.a is UP-fixed (a < 18): its corruptions go down.
+        age_errors = [e for e in result.errors if e.attribute == "a"]
+        assert age_errors
+        assert all(e.dirty_value < e.clean_value for e in age_errors)
+
+    def test_deterministic_given_seed(self, clean_census):
+        a = corrupt(clean_census.instance, clean_census.constraints, seed=9)
+        b = corrupt(clean_census.instance, clean_census.constraints, seed=9)
+        assert a.errors == b.errors
+        assert a.dirty == b.dirty
+
+    def test_rate_zero_is_identity(self, clean_census):
+        result = corrupt(
+            clean_census.instance, clean_census.constraints, cell_rate=0.0
+        )
+        assert result.errors == ()
+        assert result.dirty == clean_census.instance
+
+    def test_rate_one_touches_every_corruptible_cell(self, clean_census):
+        result = corrupt(
+            clean_census.instance, clean_census.constraints, cell_rate=1.0, seed=5
+        )
+        # census has 3 corruptible attributes: nchild, age, income.
+        n_households = clean_census.instance.count("Household")
+        n_persons = clean_census.instance.count("Person")
+        assert len(result.errors) == n_households + 2 * n_persons
+
+    def test_large_offsets_break_consistency(self, clean_census):
+        result = corrupt(
+            clean_census.instance,
+            clean_census.constraints,
+            cell_rate=0.5,
+            max_offset=100,
+            seed=6,
+        )
+        assert not is_consistent(result.dirty, clean_census.constraints)
+
+    def test_error_index(self, clean_census):
+        result = corrupt(
+            clean_census.instance, clean_census.constraints, cell_rate=0.2, seed=7
+        )
+        index = result.error_index
+        assert len(index) == len(result.errors)
+        for error in result.errors:
+            assert index[(error.ref, error.attribute)] is error
+
+    def test_parameter_validation(self, clean_census):
+        with pytest.raises(ReproError):
+            corrupt(clean_census.instance, clean_census.constraints, cell_rate=2.0)
+        with pytest.raises(ReproError):
+            corrupt(clean_census.instance, clean_census.constraints, max_offset=0)

@@ -1,0 +1,83 @@
+"""Unit tests for the finance workload."""
+
+import pytest
+
+from repro import (
+    inconsistency_profile,
+    is_consistent,
+    is_local_set,
+    repair_database,
+)
+from repro.violations import find_all_violations
+from repro.violations.degree import degree_of_database
+from repro.workloads import finance_workload
+
+
+class TestFinanceWorkload:
+    def test_deterministic(self):
+        assert (
+            finance_workload(20, seed=3).instance
+            == finance_workload(20, seed=3).instance
+        )
+
+    def test_constraints_local(self):
+        workload = finance_workload(10, seed=0)
+        assert is_local_set(workload.constraints, workload.schema)
+
+    def test_clean_ratio_zero_consistent(self):
+        workload = finance_workload(50, dirty_ratio=0.0, seed=1)
+        assert is_consistent(workload.instance, workload.constraints)
+
+    def test_dirty_accounts_violate(self):
+        workload = finance_workload(200, dirty_ratio=0.5, seed=2)
+        profile = inconsistency_profile(workload.instance, workload.constraints)
+        assert not profile.is_consistent
+        # all three rules fire somewhere at this rate.
+        assert set(profile.per_constraint) == {"ic1", "ic2", "ic3"}
+
+    def test_degree_bounded_by_transfers(self):
+        workload = finance_workload(
+            150, transfers_per_account=3, dirty_ratio=0.5, seed=4
+        )
+        violations = find_all_violations(workload.instance, workload.constraints)
+        # an account joins at most its own transfers (ic2) + ic3; a
+        # transfer joins its account (ic2) + ic1.
+        assert degree_of_database(violations) <= 3 + 1
+
+    def test_repair_restores_consistency(self):
+        workload = finance_workload(100, dirty_ratio=0.4, seed=5)
+        result = repair_database(workload.instance, workload.constraints)
+        assert result.verified
+        repaired = result.repaired
+        for transfer in repaired.tuples("Transfer"):
+            assert transfer["amount"] <= 50000
+        for account in repaired.tuples("Account"):
+            assert account["balance"] >= -20000
+
+    def test_fix_semantics(self):
+        """Oversized transfers are capped, underfunded balances raised."""
+        workload = finance_workload(100, dirty_ratio=0.4, seed=6)
+        result = repair_database(workload.instance, workload.constraints)
+        for change in result.changes:
+            if change.attribute == "amount":
+                assert change.new_value < change.old_value      # capped down
+                assert change.new_value in (50000, 10000)
+            if change.attribute == "balance":
+                assert change.new_value > change.old_value      # raised up
+                assert change.new_value in (-20000, 1000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            finance_workload(0)
+        with pytest.raises(ValueError):
+            finance_workload(5, transfers_per_account=0)
+        with pytest.raises(ValueError):
+            finance_workload(5, dirty_ratio=1.5)
+
+    def test_cardinality_repair_works_too(self):
+        from repro import cardinality_repair
+
+        workload = finance_workload(60, dirty_ratio=0.4, seed=7)
+        result = cardinality_repair(workload.instance, workload.constraints)
+        assert is_consistent(result.repaired, workload.constraints)
+        assert result.deletions > 0
