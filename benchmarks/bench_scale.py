@@ -41,7 +41,6 @@ def test_large_database_end_to_end(benchmark):
         record_point(TABLE, phase, n_tuples, seconds)
     record_point(TABLE, "violations", n_tuples, float(result.violations_before))
     # the solver is not the bottleneck at scale: detection/build dominate.
-    assert (
-        result.elapsed_seconds["solve"]
-        < result.elapsed_seconds["build"]
+    assert result.elapsed_seconds["solve"] < (
+        result.elapsed_seconds["detect"] + result.elapsed_seconds["build"]
     )

@@ -14,11 +14,23 @@ solver component alone.
 Result series registered by the tests (cover weights, ratios) are printed
 in the terminal summary, giving the textual equivalent of the figures -
 and recorded into EXPERIMENTS.md-ready tables.
+
+Besides the printed tables, every run emits machine-readable JSON:
+``record_bench_json(name, payload)`` writes ``BENCH_<name>.json`` and the
+registered series land in ``BENCH_figures.json``, all under
+``benchmarks/results/`` (override with ``REPRO_BENCH_JSON_DIR``).  Each
+file carries machine metadata (python, platform, cpu count) so perf
+trajectories recorded by CI stay comparable across runners.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
 from collections import defaultdict
+from pathlib import Path
 
 from repro.analysis.report import format_series
 from repro.repair.builder import RepairProblem, build_repair_problem
@@ -28,6 +40,38 @@ _PROBLEM_CACHE: dict[tuple, RepairProblem] = {}
 
 #: series registered by benchmarks: {table title: {series: {x: y}}}
 SERIES: dict[str, dict[str, dict]] = defaultdict(dict)
+
+#: JSON payloads registered by benchmarks: {name: payload}.
+BENCH_JSON: dict[str, dict] = {}
+
+
+def bench_json_dir() -> Path:
+    """Where ``BENCH_*.json`` artifacts go (env-overridable for CI)."""
+    return Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON_DIR", str(Path(__file__).parent / "results")
+        )
+    )
+
+
+def machine_info() -> dict:
+    """Runner metadata embedded in every JSON artifact."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def record_bench_json(name: str, payload: dict) -> None:
+    """Register one ``BENCH_<name>.json`` artifact (merged per name)."""
+    BENCH_JSON.setdefault(name, {}).update(payload)
+
+
+def quick_mode() -> bool:
+    """True when ``REPRO_BENCH_QUICK`` asks for CI-smoke-sized runs."""
+    return os.environ.get("REPRO_BENCH_QUICK", "").lower() not in ("", "0", "false")
 
 
 def clientbuy_problem(
@@ -79,12 +123,39 @@ def record_point(table: str, series: str, x, y) -> None:
     SERIES[table].setdefault(series, {})[x] = y
 
 
+def _dump_json_artifacts(write_line) -> None:
+    """Write every registered JSON artifact to the results directory."""
+    artifacts = dict(BENCH_JSON)
+    if SERIES:
+        artifacts.setdefault("figures", {})["series"] = {
+            title: {
+                name: {str(x): y for x, y in points.items()}
+                for name, points in series.items()
+            }
+            for title, series in SERIES.items()
+        }
+    if not artifacts:
+        return
+    directory = bench_json_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    info = machine_info()
+    for name, payload in artifacts.items():
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps({"machine": info, **payload}, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        write_line(f"wrote {path}")
+
+
 def pytest_terminal_summary(terminalreporter):
-    """Print the registered series tables after the benchmark run."""
-    if not SERIES:
+    """Print the registered series tables and dump the JSON artifacts."""
+    if not SERIES and not BENCH_JSON:
         return
     terminalreporter.write_sep("=", "paper-figure series (see EXPERIMENTS.md)")
     for title, series in SERIES.items():
         terminalreporter.write_line("")
         terminalreporter.write_line(format_series(title, "size", series))
     terminalreporter.write_line("")
+    _dump_json_artifacts(terminalreporter.write_line)

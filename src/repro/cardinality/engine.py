@@ -59,6 +59,8 @@ def cardinality_repair(
     table_weights: Mapping[str, float] | None = None,
     metric: str | DistanceMetric = CITY_DISTANCE,
     verify: bool = True,
+    parallel=None,
+    max_workers: int | None = None,
 ) -> DeletionRepairResult:
     """Approximate a minimum-cardinality tuple-deletion repair.
 
@@ -76,6 +78,10 @@ def cardinality_repair(
     table_weights:
         Per-relation deletion weights ``α_{δ_R}`` (default 1.0): deletions
         from lighter tables are preferred.
+    parallel, max_workers:
+        Forwarded to :func:`repro.repair.engine.repair_database` - the
+        transformed instance ``D#`` decomposes and fans out exactly like a
+        direct attribute-update repair.
     """
     transform = build_delta_transform(
         instance, constraints, mode=mode, table_weights=table_weights
@@ -89,6 +95,8 @@ def cardinality_repair(
         # IC# is local by construction (all δ comparisons are '>', joins
         # bind hard attributes in delete mode); mixed mode keeps the check.
         check_locality=(mode == "mixed"),
+        parallel=parallel,
+        max_workers=max_workers,
     )
     repaired, deleted = project_delta(transform, inner.repaired)
     return DeletionRepairResult(

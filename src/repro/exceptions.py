@@ -66,5 +66,9 @@ class ConfigError(ReproError):
     """Invalid repair-program configuration (Figure 1 configuration file)."""
 
 
+class RuntimeConfigError(ConfigError):
+    """Invalid parallel-execution policy (unknown backend, bad worker count)."""
+
+
 class BackendError(ReproError):
     """Storage backend failure (connection, SQL, export)."""

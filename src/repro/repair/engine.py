@@ -3,6 +3,12 @@
 ``repair_database`` chains the full pipeline: violation detection →
 MWSCP construction → approximate set cover → repair construction →
 (optional) verification that the result satisfies the constraints.
+
+The detection and solving stages optionally fan out over the
+:mod:`repro.runtime` executor: detection parallelizes per constraint,
+solving per connected component of the MWSCP instance (see
+:mod:`repro.setcover.decompose`).  Both stages are shared-nothing, so
+every backend — serial, thread, process — produces the identical repair.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from repro.model.instance import DatabaseInstance
 from repro.repair.apply import apply_cover
 from repro.repair.builder import RepairProblem, build_repair_problem
 from repro.repair.result import RepairResult
-from repro.setcover.solvers import DEFAULT_SOLVER, get_solver
+from repro.runtime.executor import ExecutionPolicy, Executor
+from repro.setcover.decompose import solve_by_components
+from repro.setcover.solvers import DEFAULT_SOLVER, component_solver, get_solver
 from repro.violations.detector import ViolationSet, find_all_violations, is_consistent
 
 logger = logging.getLogger(__name__)
@@ -33,6 +41,8 @@ def repair_database(
     check_locality: bool = True,
     violations: Sequence[ViolationSet] | None = None,
     simplify: bool = False,
+    parallel: "bool | str | ExecutionPolicy | None" = None,
+    max_workers: int | None = None,
 ) -> RepairResult:
     """Compute an (approximate) attribute-update repair of ``instance``.
 
@@ -62,11 +72,24 @@ def repair_database(
         :mod:`repro.constraints.simplify`.  Incompatible with a
         precomputed ``violations`` list (whose constraint objects would
         not match the simplified set).
+    parallel:
+        ``None``/``False`` (default) keeps the classic serial pipeline.
+        ``True`` picks a backend automatically; a backend name
+        (``serial``/``thread``/``process``) or an
+        :class:`~repro.runtime.ExecutionPolicy` selects one explicitly.
+        Any non-serial request also switches solving to the
+        component-decomposed path, so the result is identical for every
+        backend and worker count (see DESIGN.md, "Parallel runtime").
+    max_workers:
+        Worker bound for the parallel stages (default: all cores).
 
     Returns
     -------
     RepairResult
         The repaired instance plus distance, change log and solver stats.
+        ``elapsed_seconds`` splits the wall clock per stage (``detect``,
+        ``build``, ``solve``, ``apply``, ``verify``); ``solver_stats``
+        records the runtime backend and per-stage worker counts.
     """
     constraints = tuple(constraints)
     if simplify:
@@ -78,9 +101,23 @@ def repair_database(
 
         constraints = simplify_constraints(constraints)
     metric = get_metric(metric)
-    solver = get_solver(algorithm)
+    policy = ExecutionPolicy.resolve(parallel, max_workers)
+    # Any explicit parallel request (even one that resolves to a single
+    # worker) routes solving through the component decomposition, so the
+    # cover is a function of the request, not of the machine it ran on.
+    decomposed = policy.backend != "serial"
+    executor = Executor(policy)
 
     started = time.perf_counter()
+    detect_workers = 1
+    if violations is None:
+        if executor.is_parallel and len(constraints) > 1:
+            detect_workers = min(executor.workers, len(constraints))
+        violations = find_all_violations(
+            instance, constraints, executor=executor if detect_workers > 1 else None
+        )
+    detected = time.perf_counter()
+
     problem = build_repair_problem(
         instance,
         constraints,
@@ -100,16 +137,33 @@ def repair_database(
             violations_before=0,
             verified=True,
             metric=metric.name,
-            elapsed_seconds={"build": built - started},
+            elapsed_seconds={
+                "detect": detected - started,
+                "build": built - detected,
+            },
         )
 
     logger.info(
-        "repair: %d violations, %d candidate fixes, solving with %s",
+        "repair: %d violations, %d candidate fixes, solving with %s%s",
         len(problem.violations),
         len(problem.setcover.sets),
         algorithm if isinstance(algorithm, str) else getattr(algorithm, "__name__", "?"),
+        f" [{executor.backend} x{executor.workers}]" if decomposed else "",
     )
-    cover = solver(problem.setcover)
+    solve_workers = 1
+    if decomposed:
+        solver, max_elements, fallback = component_solver(algorithm)
+        if executor.is_parallel:
+            solve_workers = executor.workers
+        cover = solve_by_components(
+            problem.setcover,
+            solver,
+            max_component_elements=max_elements,
+            fallback=fallback,
+            executor=executor,
+        )
+    else:
+        cover = get_solver(algorithm)(problem.setcover)
     solved = time.perf_counter()
     logger.info(
         "repair: cover weight %g with %d sets in %.3fs",
@@ -132,6 +186,12 @@ def repair_database(
             )
         verified = True
 
+    solver_stats = dict(cover.stats)
+    if decomposed:
+        solver_stats["runtime_backend"] = executor.backend
+        solver_stats["runtime_workers"] = float(executor.workers)
+        solver_stats["detect_workers"] = float(detect_workers)
+        solver_stats["solve_workers"] = float(solve_workers)
     return RepairResult(
         repaired=repaired,
         algorithm=cover.algorithm,
@@ -142,9 +202,10 @@ def repair_database(
         verified=verified,
         metric=metric.name,
         solver_iterations=cover.iterations,
-        solver_stats=dict(cover.stats),
+        solver_stats=solver_stats,
         elapsed_seconds={
-            "build": built - started,
+            "detect": detected - started,
+            "build": built - detected,
             "solve": solved - built,
             "apply": applied - solved,
             "verify": time.perf_counter() - applied if verify else 0.0,
@@ -153,11 +214,26 @@ def repair_database(
 
 
 def repair_problem_cover(
-    problem: RepairProblem, algorithm: str = DEFAULT_SOLVER
+    problem: RepairProblem,
+    algorithm: str = DEFAULT_SOLVER,
+    parallel: "bool | str | ExecutionPolicy | None" = None,
+    max_workers: int | None = None,
 ):
     """Solve a prebuilt repair problem; exposed for the benchmark harness.
 
     The Figure-3 benchmark times *only* the MWSCP solver component (as the
     paper does), so it builds the problem once and calls this repeatedly.
+    ``parallel``/``max_workers`` select the component-decomposed parallel
+    path, mirroring :func:`repair_database`.
     """
-    return get_solver(algorithm)(problem.setcover)
+    policy = ExecutionPolicy.resolve(parallel, max_workers)
+    if policy.backend == "serial":
+        return get_solver(algorithm)(problem.setcover)
+    solver, max_elements, fallback = component_solver(algorithm)
+    return solve_by_components(
+        problem.setcover,
+        solver,
+        max_component_elements=max_elements,
+        fallback=fallback,
+        executor=Executor(policy),
+    )

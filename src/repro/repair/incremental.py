@@ -24,6 +24,7 @@ Usage::
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
 from repro.constraints.denial import DenialConstraint
@@ -35,7 +36,9 @@ from repro.model.tuples import Tuple
 from repro.repair.builder import build_repair_problem
 from repro.repair.apply import apply_cover
 from repro.repair.result import RepairResult
-from repro.setcover.solvers import DEFAULT_SOLVER, get_solver
+from repro.runtime.executor import ExecutionPolicy, Executor
+from repro.setcover.decompose import solve_by_components
+from repro.setcover.solvers import DEFAULT_SOLVER, component_solver, get_solver
 from repro.violations.detector import (
     find_all_violations,
     find_violations_involving,
@@ -58,10 +61,22 @@ class IncrementalRepairer:
         algorithm: str = DEFAULT_SOLVER,
         metric: str | DistanceMetric = CITY_DISTANCE,
         repair_initial: bool = True,
+        parallel: "bool | str | ExecutionPolicy | None" = None,
+        max_workers: int | None = None,
     ) -> None:
         self._constraints = tuple(constraints)
         self._algorithm = algorithm
         self._metric = get_metric(metric)
+        # Anchored detection is dominated by hash lookups against the
+        # shared join-index cache, which a process pool cannot see - so
+        # ``parallel=True`` resolves to threads here, keeping the cache
+        # hot while still letting sqlite-bound or multi-constraint
+        # batches overlap.  The solve stage reuses the same policy.
+        policy = ExecutionPolicy.resolve(parallel, max_workers)
+        if policy.backend == "auto":
+            policy = replace(policy, backend="thread")
+        self._policy = policy
+        self._executor = Executor(policy)
         check_local_set(self._constraints, instance.schema)
 
         self._instance = instance.copy()
@@ -75,7 +90,7 @@ class IncrementalRepairer:
                 self._instance, self._constraints, metric=self._metric,
                 check_locality=False,
             )
-            cover = get_solver(self._algorithm)(problem.setcover)
+            cover = self._solve(problem.setcover)
             self._instance, _, _ = apply_cover(problem, cover)
         self._staged: list[Tuple] = []
         # Persistent join indexes keep anchored detection sublinear across
@@ -146,6 +161,7 @@ class IncrementalRepairer:
             self._constraints,
             self._staged,
             raw_indexes=self._join_indexes,
+            executor=self._executor if self._policy.is_parallel else None,
         )
         self._staged = []
         if not violations:
@@ -170,7 +186,7 @@ class IncrementalRepairer:
             check_locality=False,          # checked once in __init__
             violations=violations,
         )
-        cover = get_solver(self._algorithm)(problem.setcover)
+        cover = self._solve(problem.setcover)
         repaired, changes, distance = apply_cover(problem, cover)
         for ref in {change.ref for change in changes}:
             self._join_indexes.notify_replace(
@@ -191,6 +207,24 @@ class IncrementalRepairer:
             metric=self._metric.name,
             solver_iterations=cover.iterations,
             solver_stats=dict(cover.stats),
+        )
+
+    def _solve(self, setcover) -> "Cover":
+        """Solve one commit's MWSCP; decomposed when parallelism is on.
+
+        Mirrors :func:`repro.repair.engine.repair_database`: a non-serial
+        policy routes through the component decomposition so the covers
+        match batch-parallel repairs of the same state, byte for byte.
+        """
+        if self._policy.backend == "serial":
+            return get_solver(self._algorithm)(setcover)
+        solver, max_elements, fallback = component_solver(self._algorithm)
+        return solve_by_components(
+            setcover,
+            solver,
+            max_component_elements=max_elements,
+            fallback=fallback,
+            executor=self._executor,
         )
 
     def _verify(self) -> None:

@@ -1,0 +1,246 @@
+"""Executor abstraction: serial, thread and process execution backends.
+
+The repair pipeline has two embarrassingly-parallel stages — per-constraint
+violation detection and per-component set-cover solving — whose work items
+are independent by construction (constraints never share violation sets;
+connected components never share candidate fixes).  ``Executor`` gives both
+stages one shared dispatch mechanism:
+
+* **serial** — a plain loop, zero overhead, always available;
+* **thread** — ``ThreadPoolExecutor``; profitable when the work releases
+  the GIL (sqlite-backed detection, any future C-accelerated solver) and
+  free of serialization cost, so it is also the safe default for small
+  batches;
+* **process** — ``ProcessPoolExecutor``; true CPU parallelism for the
+  pure-Python solver loops, at the cost of pickling the work description.
+
+Guarantees, regardless of backend:
+
+* ``map`` preserves input order — results arrive positionally, never in
+  completion order, so every parallel pipeline stage is deterministic;
+* exceptions raised by the mapped function propagate to the caller
+  (``ReproError`` subclasses always — the ``max_violations`` safety valve
+  keeps working under fan-out);
+* pool-infrastructure failures (unpicklable work, a broken pool, fork
+  restrictions) degrade to the serial loop with a logged warning instead
+  of failing the repair, unless the policy disables the fallback.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import ReproError, RuntimeConfigError
+
+logger = logging.getLogger(__name__)
+
+#: Backends selectable by name (``auto`` resolves at execution time).
+BACKENDS = ("serial", "thread", "process", "auto")
+
+#: Exceptions that indicate the *pool* (not the work) failed: unpicklable
+#: payloads, a worker that died, fork not being available.  Anything the
+#: library itself raises is re-raised before this filter applies.
+_POOL_FAILURES = (
+    BrokenExecutor,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    OSError,
+    RuntimeError,
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a pipeline stage should be executed.
+
+    Attributes
+    ----------
+    backend:
+        ``serial``, ``thread``, ``process``, or ``auto`` (process when more
+        than one worker is available, serial otherwise).
+    max_workers:
+        Worker count; ``None`` means ``os.cpu_count()``.
+    chunks_per_worker:
+        Over-partitioning factor for size-balanced batching: work is split
+        into ``workers * chunks_per_worker`` bins so one oversized item
+        cannot straggle a whole worker's share.
+    fallback:
+        Degrade to serial execution when the pool itself fails (default);
+        set ``False`` to surface pool failures (used by tests).
+    """
+
+    backend: str = "serial"
+    max_workers: int | None = None
+    chunks_per_worker: int = 4
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise RuntimeConfigError(
+                f"unknown execution backend {self.backend!r}; "
+                f"choose from {BACKENDS}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise RuntimeConfigError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.chunks_per_worker < 1:
+            raise RuntimeConfigError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker count (``max_workers`` or the machine's cores)."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return os.cpu_count() or 1
+
+    @property
+    def effective_backend(self) -> str:
+        """``auto`` resolved against the worker count."""
+        if self.backend == "auto":
+            return "process" if self.workers > 1 else "serial"
+        return self.backend
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when this policy can dispatch to more than one worker."""
+        return self.effective_backend in ("thread", "process") and self.workers > 1
+
+    @classmethod
+    def resolve(
+        cls,
+        parallel: "bool | str | ExecutionPolicy | None" = None,
+        max_workers: int | None = None,
+    ) -> "ExecutionPolicy":
+        """Normalize the user-facing ``parallel`` / ``max_workers`` options.
+
+        ``None``/``False`` → serial; ``True`` → ``auto``; a backend name →
+        that backend; an existing policy passes through (with
+        ``max_workers`` overriding its worker count when given).
+        """
+        if isinstance(parallel, ExecutionPolicy):
+            if max_workers is not None:
+                return replace(parallel, max_workers=max_workers)
+            return parallel
+        if parallel is None or parallel is False:
+            backend = "serial"
+        elif parallel is True:
+            backend = "auto"
+        elif isinstance(parallel, str):
+            backend = parallel
+        else:
+            raise RuntimeConfigError(
+                f"parallel must be a bool, backend name or ExecutionPolicy, "
+                f"got {parallel!r}"
+            )
+        return cls(backend=backend, max_workers=max_workers)
+
+
+class Executor:
+    """Order-preserving ``map`` over a configured execution backend."""
+
+    def __init__(self, policy: ExecutionPolicy) -> None:
+        self.policy = policy
+
+    @property
+    def backend(self) -> str:
+        """The effective backend this executor dispatches to."""
+        return self.policy.effective_backend
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count."""
+        return self.policy.workers
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when more than one worker can run concurrently."""
+        return self.policy.is_parallel
+
+    def n_chunks(self, n_items: int) -> int:
+        """How many balanced bins to split ``n_items`` work items into."""
+        if not self.is_parallel:
+            return 1
+        return max(1, min(n_items, self.workers * self.policy.chunks_per_worker))
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        Exceptions from ``fn`` propagate.  Pool failures fall back to the
+        serial loop (see module docstring) when the policy allows it.
+        """
+        items = list(items)
+        backend = self.backend
+        if backend == "serial" or self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+        workers = min(self.workers, len(items))
+        try:
+            with pool_cls(max_workers=workers) as pool:
+                return list(pool.map(fn, items))
+        except ReproError:
+            raise
+        except _POOL_FAILURES as error:
+            if not self.policy.fallback:
+                raise
+            logger.warning(
+                "runtime: %s pool failed (%s: %s); falling back to serial",
+                backend,
+                type(error).__name__,
+                error,
+            )
+            return [fn(item) for item in items]
+
+
+def as_executor(
+    executor: "Executor | ExecutionPolicy | bool | str | None",
+    max_workers: int | None = None,
+) -> Executor:
+    """Coerce any of the accepted ``executor=`` spellings to an ``Executor``.
+
+    Accepts an :class:`Executor`, an :class:`ExecutionPolicy`, a backend
+    name, ``True``/``False``/``None``, optionally combined with a worker
+    count override.
+    """
+    if isinstance(executor, Executor):
+        if max_workers is not None:
+            return Executor(replace(executor.policy, max_workers=max_workers))
+        return executor
+    return Executor(ExecutionPolicy.resolve(executor, max_workers))
+
+
+def balanced_chunks(
+    costs: Sequence[float], n_chunks: int
+) -> list[list[int]]:
+    """Partition item indices into ``<= n_chunks`` bins of near-equal cost.
+
+    Longest-processing-time (LPT) assignment: items are placed heaviest
+    first into the currently lightest bin, so one large item cannot
+    straggle a bin that also holds many small ones.  Ties break on bin
+    index, items inside a bin are sorted by index, and bins are ordered by
+    their smallest index — the chunking is fully deterministic.
+    """
+    if n_chunks < 1:
+        raise RuntimeConfigError(f"n_chunks must be >= 1, got {n_chunks}")
+    n_chunks = min(n_chunks, len(costs))
+    if n_chunks <= 1:
+        return [list(range(len(costs)))] if costs else []
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    bins: list[list[int]] = [[] for _ in range(n_chunks)]
+    heap: list[tuple[float, int]] = [(0.0, b) for b in range(n_chunks)]
+    for index in order:
+        load, bin_index = heappop(heap)
+        bins[bin_index].append(index)
+        heappush(heap, (load + costs[index], bin_index))
+    chunks = [sorted(b) for b in bins if b]
+    chunks.sort(key=lambda chunk: chunk[0])
+    return chunks

@@ -1,0 +1,136 @@
+"""Picklable work descriptions for the process execution backend.
+
+Process pools ship arguments and results through pickle, so the parallel
+pipeline stages describe their work with plain data + top-level functions
+from this module:
+
+* **solving** — a batch of connected components travels as bare
+  ``(n_elements, ((weight, elements), ...))`` specs (payloads stripped:
+  solvers never read them, and :class:`~repro.fixes.mlf.FixCandidate`
+  graphs would dominate the pickle size).  Solvers are named by registry
+  key when possible so only a short string crosses the process boundary;
+  unregistered callables are pickled by reference and must therefore be
+  module-level functions — anything else trips the executor's serial
+  fallback.
+* **detection** — a batch of constraints travels together with the
+  instance, so the instance is pickled once per batch instead of once per
+  constraint.
+
+Result shapes are plain tuples; the calling stage reassembles them into
+:class:`~repro.setcover.result.Cover` / ``ViolationSet`` values in the
+original input order, which keeps the parallel paths byte-identical to the
+serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.setcover.instance import SetCoverInstance, WeightedSet
+from repro.setcover.result import Cover
+
+#: ``(n_elements, ((weight, elements), ...))`` — a payload-free component.
+ComponentSpec = "tuple[int, tuple[tuple[float, tuple[int, ...]], ...]]"
+
+#: A solver shipped by registry name (str) or as a module-level callable.
+SolverToken = "str | Callable[[SetCoverInstance], Cover]"
+
+
+def solver_token(solver: Callable) -> "str | Callable":
+    """Prefer the registry name over pickling the callable itself."""
+    from repro.setcover.solvers import SOLVERS
+
+    for name, registered in SOLVERS.items():
+        if registered is solver:
+            return name
+    return solver
+
+
+def resolve_solver(token: "str | Callable") -> Callable:
+    """Inverse of :func:`solver_token` (runs inside the worker process)."""
+    from repro.setcover.solvers import get_solver
+
+    return get_solver(token)
+
+
+def component_spec(instance: SetCoverInstance) -> tuple:
+    """Strip a component instance down to its picklable skeleton."""
+    return (
+        instance.n_elements,
+        tuple((s.weight, s.elements) for s in instance.sets),
+    )
+
+
+def _instance_from_spec(spec: tuple) -> SetCoverInstance:
+    n_elements, sets = spec
+    return SetCoverInstance(
+        n_elements,
+        [
+            WeightedSet(index, weight, elements)
+            for index, (weight, elements) in enumerate(sets)
+        ],
+    )
+
+
+def solve_component_batch(
+    payload: "tuple[Sequence[tuple], Sequence[str | Callable]]",
+) -> list[tuple]:
+    """Solve one batch of components; one solver token per component.
+
+    Returns ``[(selected, weight, iterations, stats), ...]`` aligned with
+    the input batch.
+    """
+    specs, tokens = payload
+    results: list[tuple] = []
+    for spec, token in zip(specs, tokens):
+        cover = resolve_solver(token)(_instance_from_spec(spec))
+        results.append(
+            (cover.selected, cover.weight, cover.iterations, dict(cover.stats))
+        )
+    return results
+
+
+def detect_constraint_batch(payload: tuple) -> list[tuple]:
+    """Run ``find_violations`` for one batch of constraints.
+
+    ``payload`` is ``(instance, constraints, max_violations)``; the result
+    is one tuple of :class:`~repro.violations.detector.ViolationSet` per
+    constraint, in batch order.  A tripped ``max_violations`` safety valve
+    raises :class:`~repro.exceptions.ConstraintError`, which the executor
+    re-raises in the parent.
+    """
+    instance, constraints, max_violations = payload
+    from repro.violations.detector import find_violations
+
+    return [
+        find_violations(instance, constraint, max_violations)
+        for constraint in constraints
+    ]
+
+
+def detect_anchored_batch(payload: tuple) -> list[tuple]:
+    """Anchored (incremental) detection for one batch of constraints.
+
+    ``payload`` is ``(instance, constraints, anchors, raw_indexes)``;
+    returns one tuple of ``ViolationSet`` per constraint, in batch order.
+    """
+    instance, constraints, anchors, raw_indexes = payload
+    from repro.violations.detector import violations_involving_constraint
+
+    return [
+        violations_involving_constraint(instance, constraint, anchors, raw_indexes)
+        for constraint in constraints
+    ]
+
+
+def detection_cost(constraint: Any) -> float:
+    """Rough relative cost of detecting one constraint's violations.
+
+    Join width dominates enumeration cost, so the atom count is the load
+    signal for balanced batching (a 3-atom denial joins a whole extra
+    relation compared to a 2-atom one).
+    """
+    try:
+        return float(max(1, len(constraint.relation_atoms)))
+    except Exception:
+        return 1.0

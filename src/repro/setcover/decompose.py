@@ -18,7 +18,8 @@ components are independent subproblems:
   only produce lighter covers.
 
 ``decompose`` returns the components; ``solve_by_components`` runs a
-solver per component and stitches the covers back together.
+solver per component — serially or fanned out over a
+:mod:`repro.runtime` executor — and stitches the covers back together.
 """
 
 from __future__ import annotations
@@ -104,22 +105,80 @@ def decompose(instance: SetCoverInstance) -> tuple[Component, ...]:
     return tuple(components)
 
 
+def _solver_name(solver: Callable[[SetCoverInstance], Cover]) -> str:
+    return getattr(solver, "__name__", "solver")
+
+
+def _solve_components_parallel(
+    components: Sequence[Component],
+    chosen: Sequence[Callable[[SetCoverInstance], Cover]],
+    executor,
+) -> list[tuple] | None:
+    """Fan component solving out over an executor; ``None`` = stay serial.
+
+    Components are LPT-batched by size (elements + sets) so one large
+    component cannot straggle a worker that also drew many small ones.
+    Results come back as ``(selected, weight, iterations, stats)`` tuples
+    reassembled into original component order, which makes the merge loop
+    byte-identical to the serial one.
+    """
+    from repro.runtime.executor import as_executor, balanced_chunks
+    from repro.runtime.workers import (
+        component_spec,
+        solve_component_batch,
+        solver_token,
+    )
+
+    ex = as_executor(executor)
+    if not ex.is_parallel or len(components) <= 1:
+        return None
+    tokens = [solver_token(use) for use in chosen]
+    costs = [
+        float(c.instance.n_elements + len(c.instance.sets)) for c in components
+    ]
+    chunks = balanced_chunks(costs, ex.n_chunks(len(components)))
+    payloads = [
+        (
+            [component_spec(components[i].instance) for i in chunk],
+            [tokens[i] for i in chunk],
+        )
+        for chunk in chunks
+    ]
+    results: list[tuple | None] = [None] * len(components)
+    for chunk, batch in zip(chunks, ex.map(solve_component_batch, payloads)):
+        for index, result in zip(chunk, batch):
+            results[index] = result
+    return results  # type: ignore[return-value]
+
+
 def solve_by_components(
     instance: SetCoverInstance,
     solver: Callable[[SetCoverInstance], Cover],
     max_component_elements: int | None = None,
     fallback: Callable[[SetCoverInstance], Cover] | None = None,
+    executor=None,
+    max_workers: int | None = None,
 ) -> Cover:
     """Solve each connected component independently and merge the covers.
 
     ``max_component_elements`` + ``fallback`` support the practical
     "exact where feasible" policy: components larger than the limit are
     handed to the fallback approximation instead of the main solver.
+
+    ``executor`` (anything :func:`repro.runtime.as_executor` accepts — an
+    :class:`~repro.runtime.Executor`, an
+    :class:`~repro.runtime.ExecutionPolicy`, a backend name, or ``True``)
+    fans the per-component solves out across workers; ``max_workers``
+    bounds the pool.  Components are independent subproblems and results
+    are merged in component order, so every backend returns the same cover
+    as the serial loop, byte for byte.
+
+    The merged ``stats`` carry the component counts plus the key-wise sum
+    of every per-component solver stat (heap operations, layers, B&B
+    nodes, ...), so decomposition no longer discards solver bookkeeping.
     """
     components = decompose(instance)
-    selected: list[int] = []
-    total_weight = 0.0
-    iterations = 0
+    chosen: list[Callable[[SetCoverInstance], Cover]] = []
     oversized = 0
     for component in components:
         use = solver
@@ -135,20 +194,54 @@ def solve_by_components(
                 )
             use = fallback
             oversized += 1
-        cover = use(component.instance)
-        selected.extend(component.set_ids[i] for i in cover.selected)
-        total_weight += cover.weight
-        iterations += cover.iterations
+        chosen.append(use)
+
+    results = None
+    if executor is not None or max_workers is not None:
+        results = _solve_components_parallel(components, chosen, _coerce_executor(executor, max_workers))
+    if results is None:
+        results = []
+        for component, use in zip(components, chosen):
+            cover = use(component.instance)
+            results.append(
+                (cover.selected, cover.weight, cover.iterations, cover.stats)
+            )
+
+    selected: list[int] = []
+    total_weight = 0.0
+    iterations = 0
+    merged_stats: dict[str, float] = {}
+    for component, (local_selected, weight, local_iterations, stats) in zip(
+        components, results
+    ):
+        selected.extend(component.set_ids[i] for i in local_selected)
+        total_weight += weight
+        iterations += local_iterations
+        for key, value in stats.items():
+            try:
+                merged_stats[key] = merged_stats.get(key, 0.0) + float(value)
+            except (TypeError, ValueError):
+                continue  # non-numeric solver stat: nothing sensible to merge
+
+    label = _solver_name(solver)
+    if oversized:
+        label = f"{label}, fallback={_solver_name(fallback)}"
+    merged_stats["components"] = float(len(components))
+    merged_stats["oversized_components"] = float(oversized)
     return Cover(
         selected=tuple(selected),
         weight=total_weight,
-        algorithm=f"by-components({getattr(solver, '__name__', 'solver')})",
+        algorithm=f"by-components({label})",
         iterations=iterations,
-        stats={
-            "components": float(len(components)),
-            "oversized_components": float(oversized),
-        },
+        stats=merged_stats,
     )
+
+
+def _coerce_executor(executor, max_workers: int | None):
+    """Late import indirection so serial users never touch the runtime."""
+    from repro.runtime.executor import as_executor
+
+    return as_executor(executor, max_workers)
 
 
 def component_size_histogram(

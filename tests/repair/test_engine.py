@@ -68,7 +68,13 @@ class TestRepairDatabase:
         assert result.metric == "L1"
         assert result.violations_before == 3
         assert result.tuples_changed == 2
-        assert set(result.elapsed_seconds) == {"build", "solve", "apply", "verify"}
+        assert set(result.elapsed_seconds) == {
+            "detect",
+            "build",
+            "solve",
+            "apply",
+            "verify",
+        }
         assert result.solver_iterations > 0
 
     def test_summary_renders(self, paper):

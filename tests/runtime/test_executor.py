@@ -1,0 +1,139 @@
+"""Unit tests for the execution backends and the balanced chunker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConstraintError, RuntimeConfigError
+from repro.runtime import (
+    BACKENDS,
+    ExecutionPolicy,
+    Executor,
+    as_executor,
+    balanced_chunks,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ConstraintError(f"boom {x}")
+
+
+class TestExecutionPolicy:
+    def test_defaults_are_serial(self):
+        policy = ExecutionPolicy()
+        assert policy.backend == "serial"
+        assert not policy.is_parallel
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            ExecutionPolicy(backend="gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            ExecutionPolicy(max_workers=0)
+
+    def test_resolve_none_and_false_are_serial(self):
+        assert ExecutionPolicy.resolve(None).backend == "serial"
+        assert ExecutionPolicy.resolve(False).backend == "serial"
+
+    def test_resolve_true_is_auto(self):
+        policy = ExecutionPolicy.resolve(True, max_workers=4)
+        assert policy.backend == "auto"
+        assert policy.effective_backend == "process"
+        assert policy.is_parallel
+
+    def test_auto_with_one_worker_is_serial(self):
+        policy = ExecutionPolicy.resolve(True, max_workers=1)
+        assert policy.effective_backend == "serial"
+        assert not policy.is_parallel
+
+    def test_resolve_backend_names(self):
+        for backend in BACKENDS:
+            assert ExecutionPolicy.resolve(backend).backend == backend
+
+    def test_resolve_passes_policies_through(self):
+        policy = ExecutionPolicy(backend="thread", max_workers=2)
+        assert ExecutionPolicy.resolve(policy) is policy
+        overridden = ExecutionPolicy.resolve(policy, max_workers=8)
+        assert overridden.backend == "thread"
+        assert overridden.max_workers == 8
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(RuntimeConfigError):
+            ExecutionPolicy.resolve(3.14)
+
+
+class TestExecutorMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_order_preserved(self, backend):
+        ex = as_executor(backend, 4)
+        assert ex.map(_square, range(17)) == [i * i for i in range(17)]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_worker_exceptions_propagate(self, backend):
+        ex = as_executor(backend, 4)
+        with pytest.raises(ConstraintError):
+            ex.map(_boom, [1, 2, 3])
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        ex = as_executor("process", 4)
+        captured = []
+        # a closure cannot be pickled, so the pool submission fails and the
+        # serial fallback must still compute every result in order.
+        results = ex.map(lambda x: captured.append(x) or x + 1, [1, 2, 3])
+        assert results == [2, 3, 4]
+        assert captured == [1, 2, 3]
+
+    def test_fallback_disabled_surfaces_pool_failure(self):
+        policy = ExecutionPolicy(backend="process", max_workers=4, fallback=False)
+        with pytest.raises(Exception):
+            Executor(policy).map(lambda x: x, [1, 2])
+
+    def test_single_item_stays_serial(self):
+        ex = as_executor("process", 4)
+        assert ex.map(lambda x: x * 3, [5]) == [15]
+
+    def test_as_executor_idempotent(self):
+        ex = as_executor("thread", 2)
+        assert as_executor(ex) is ex
+        assert as_executor(ex, 6).workers == 6
+
+
+class TestBalancedChunks:
+    def test_empty(self):
+        assert balanced_chunks([], 4) == []
+
+    def test_single_chunk(self):
+        assert balanced_chunks([1.0, 2.0, 3.0], 1) == [[0, 1, 2]]
+
+    def test_partition_is_exact(self):
+        costs = [float(c) for c in (5, 1, 1, 1, 9, 2, 2, 4)]
+        chunks = balanced_chunks(costs, 3)
+        flat = sorted(i for chunk in chunks for i in chunk)
+        assert flat == list(range(len(costs)))
+        assert len(chunks) <= 3
+
+    def test_lpt_separates_heavy_items(self):
+        # two giants and six tiny items over two bins: one giant per bin.
+        costs = [100.0, 100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        chunks = balanced_chunks(costs, 2)
+        assert len(chunks) == 2
+        assert sum(0 in chunk for chunk in chunks) == 1
+        assert sum(1 in chunk for chunk in chunks) == 1
+        assert not any(0 in chunk and 1 in chunk for chunk in chunks)
+
+    def test_deterministic(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert balanced_chunks(costs, 3) == balanced_chunks(costs, 3)
+
+    def test_more_chunks_than_items(self):
+        chunks = balanced_chunks([1.0, 2.0], 10)
+        assert sorted(i for c in chunks for i in c) == [0, 1]
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(RuntimeConfigError):
+            balanced_chunks([1.0], 0)

@@ -115,6 +115,131 @@ class TestSolveByComponents:
         cover = solve_by_components(two_components, greedy_cover)
         assert cover.stats["components"] == 2
 
+    def test_stats_merged_across_components(self, two_components):
+        """Numeric per-component solver stats sum; iterations accumulate."""
+        per_component = [
+            greedy_cover(c.instance) for c in decompose(two_components)
+        ]
+        merged = solve_by_components(two_components, greedy_cover)
+        assert merged.iterations == sum(c.iterations for c in per_component)
+        for key in per_component[0].stats:
+            assert merged.stats[key] == pytest.approx(
+                sum(float(c.stats[key]) for c in per_component)
+            )
+
+    def test_algorithm_label_names_solver(self, two_components):
+        cover = solve_by_components(two_components, greedy_cover)
+        assert cover.algorithm == "by-components(greedy_cover)"
+
+    def test_algorithm_label_names_fallback(self, two_components):
+        cover = solve_by_components(
+            two_components,
+            exact_cover,
+            max_component_elements=2,
+            fallback=modified_greedy_cover,
+        )
+        assert cover.algorithm == (
+            "by-components(exact_cover, fallback=modified_greedy_cover)"
+        )
+
+    def test_fallback_unused_keeps_plain_label(self, two_components):
+        cover = solve_by_components(
+            two_components,
+            exact_cover,
+            max_component_elements=100,
+            fallback=modified_greedy_cover,
+        )
+        assert cover.algorithm == "by-components(exact_cover)"
+        assert cover.stats["oversized_components"] == 0
+
+
+class TestDecomposeAdversarial:
+    def test_decompose_is_deterministic(self):
+        import random
+
+        rng = random.Random(7)
+        collections = []
+        for _ in range(40):
+            size = rng.randint(0, 4)   # includes empty sets
+            collections.append(
+                (1.0, rng.sample(range(30), size))
+            )
+        # every element needs some cover for solving, not for decompose
+        instance = make(30, collections)
+        first = decompose(instance)
+        second = decompose(instance)
+        assert [c.element_ids for c in first] == [c.element_ids for c in second]
+        assert [c.set_ids for c in first] == [c.set_ids for c in second]
+        # components are emitted in order of their smallest element.
+        firsts = [c.element_ids[0] for c in first]
+        assert firsts == sorted(firsts)
+
+    def test_spanning_set_merges_would_be_components(self):
+        # {0,1} and {2,3} would be two components; the set {1,2} bridges
+        # them, so union-find must produce a single component of all four.
+        instance = make(
+            4,
+            [
+                (1.0, [0, 1]),
+                (1.0, [2, 3]),
+                (1.0, [1, 2]),
+            ],
+        )
+        (component,) = decompose(instance)
+        assert component.element_ids == (0, 1, 2, 3)
+        assert component.set_ids == (0, 1, 2)
+
+    def test_spanning_set_solved_as_one_unit(self):
+        # without the bridge, two singleton-ish covers; with it, the
+        # optimum uses the cheap spanning sets - decomposed solving must
+        # find the same optimum as the monolithic exact solver.
+        instance = make(
+            4,
+            [
+                (1.0, [0, 1]),
+                (1.0, [2, 3]),
+                (0.1, [1, 2]),
+                (5.0, [0]),
+                (5.0, [3]),
+            ],
+        )
+        split = solve_by_components(instance, exact_cover)
+        whole = exact_cover(instance)
+        assert split.weight == pytest.approx(whole.weight)
+        assert sorted(split.selected) == sorted(whole.selected)
+
+    def test_empty_sets_do_not_join_components(self):
+        # an empty set touches no element, so it must neither appear in a
+        # component nor accidentally merge the two real components.
+        instance = make(
+            2,
+            [(1.0, [0]), (9.0, []), (1.0, [1])],
+        )
+        components = decompose(instance)
+        assert len(components) == 2
+        assert all(1 not in c.set_ids for c in components)
+        cover = solve_by_components(instance, greedy_cover)
+        assert is_cover(instance, cover.selected)
+        assert 1 not in cover.selected
+
+    def test_all_singleton_components(self):
+        instance = make(6, [(float(i + 1), [i]) for i in range(6)])
+        components = decompose(instance)
+        assert len(components) == 6
+        cover = solve_by_components(instance, modified_greedy_cover)
+        assert sorted(cover.selected) == list(range(6))
+        assert cover.weight == pytest.approx(sum(range(1, 7)))
+        assert cover.stats["components"] == 6
+
+    def test_uncoverable_component_surfaces_solver_error(self):
+        # element 2 is in no set: the component solver must raise, and
+        # decomposition must not mask it.
+        from repro.exceptions import UncoverableError
+
+        instance = make(3, [(1.0, [0, 1])])
+        with pytest.raises(UncoverableError):
+            solve_by_components(instance, greedy_cover)
+
 
 class TestExactDecomposedSolver:
     def test_optimal_on_clustered_repair_problem(self, small_clientbuy):

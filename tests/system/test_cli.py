@@ -68,3 +68,21 @@ class TestCli:
     def test_parser_help_mentions_algorithms(self):
         parser = build_parser()
         assert "modified-greedy" in parser.format_help()
+
+    def test_parallel_override(self, config_path, capsys):
+        assert main([config_path, "--parallel", "thread", "--dry-run"]) == 0
+        capsys.readouterr()
+
+    def test_parallel_with_workers(self, config_path, capsys):
+        args = [config_path, "--parallel", "process", "--max-workers", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "verified D'|=IC  : True" in out
+
+    def test_parallel_rejects_unknown_backend(self, config_path, capsys):
+        with pytest.raises(SystemExit):
+            main([config_path, "--parallel", "gpu"])
+
+    def test_max_workers_must_be_positive(self, config_path, capsys):
+        assert main([config_path, "--max-workers", "0"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -120,3 +120,40 @@ class TestValidation:
             data["export"] = {"mode": mode, **extra}
             config = RepairConfig.from_dict(data)
             assert config.export_mode is ExportMode.from_name(mode)
+
+
+class TestRuntimeBlock:
+    def test_default_is_serial(self):
+        config = RepairConfig.from_dict(minimal_config())
+        assert config.runtime_backend == "serial"
+        assert config.runtime_workers is None
+        policy = config.execution_policy
+        assert policy.backend == "serial"
+        assert not policy.is_parallel
+
+    def test_runtime_block_parsed(self):
+        data = minimal_config()
+        data["runtime"] = {"backend": "process", "max_workers": 3}
+        config = RepairConfig.from_dict(data)
+        assert config.runtime_backend == "process"
+        assert config.runtime_workers == 3
+        policy = config.execution_policy
+        assert policy.backend == "process"
+        assert policy.max_workers == 3
+        assert policy.is_parallel
+
+    @pytest.mark.parametrize(
+        "runtime, message",
+        [
+            ({"backend": "gpu"}, "backend"),
+            ({"max_workers": 0}, "max_workers"),
+            ({"max_workers": True}, "max_workers"),
+            ({"max_workers": "four"}, "max_workers"),
+            ("process", "runtime"),
+        ],
+    )
+    def test_bad_runtime_rejected(self, runtime, message):
+        data = minimal_config()
+        data["runtime"] = runtime
+        with pytest.raises(ConfigError, match=message):
+            RepairConfig.from_dict(data)
