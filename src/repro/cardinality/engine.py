@@ -61,6 +61,7 @@ def cardinality_repair(
     verify: bool = True,
     parallel=None,
     max_workers: int | None = None,
+    engine: str = "auto",
 ) -> DeletionRepairResult:
     """Approximate a minimum-cardinality tuple-deletion repair.
 
@@ -78,10 +79,10 @@ def cardinality_repair(
     table_weights:
         Per-relation deletion weights ``α_{δ_R}`` (default 1.0): deletions
         from lighter tables are preferred.
-    parallel, max_workers:
+    parallel, max_workers, engine:
         Forwarded to :func:`repro.repair.engine.repair_database` - the
-        transformed instance ``D#`` decomposes and fans out exactly like a
-        direct attribute-update repair.
+        transformed instance ``D#`` decomposes, fans out, and picks its
+        detection engine exactly like a direct attribute-update repair.
     """
     transform = build_delta_transform(
         instance, constraints, mode=mode, table_weights=table_weights
@@ -97,6 +98,7 @@ def cardinality_repair(
         check_locality=(mode == "mixed"),
         parallel=parallel,
         max_workers=max_workers,
+        engine=engine,
     )
     repaired, deleted = project_delta(transform, inner.repaired)
     return DeletionRepairResult(

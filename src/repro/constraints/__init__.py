@@ -2,10 +2,12 @@
 
 A *linear denial constraint* (Section 2) has the form
 ``∀x̄ ¬(A₁ ∧ … ∧ A_m)`` where each ``A_i`` is a database atom ``R(x̄_i)`` or
-a built-in atom ``x θ c`` (θ ∈ {=, ≠, <, >, ≤, ≥}), ``x = y`` or ``x ≠ y``.
+a built-in atom ``x θ c`` / ``x θ y + c`` (θ ∈ {=, ≠, <, >, ≤, ≥}).
 This package provides the atom/constraint model, a small textual DSL, the
-*locality* test of Section 2 (conditions (a)-(c)), and compilation of a
-constraint into the SQL violation view of Algorithm 2 / Example 3.6.
+*locality* test of Section 2 (conditions (a)-(c)), and two compiled forms
+of a constraint: the SQL violation view of Algorithm 2 / Example 3.6
+(:mod:`repro.constraints.sql`) and the columnar detection plan consumed by
+the kernel engine (:mod:`repro.constraints.plan`).
 """
 
 from repro.constraints.atoms import (
@@ -23,6 +25,7 @@ from repro.constraints.locality import (
     is_local,
     is_local_set,
 )
+from repro.constraints.plan import ConstraintPlan, compile_plan, order_atoms
 from repro.constraints.simplify import simplify_constraint, simplify_constraints
 from repro.constraints.sql import violation_query
 
@@ -42,4 +45,7 @@ __all__ = [
     "simplify_constraint",
     "simplify_constraints",
     "violation_query",
+    "ConstraintPlan",
+    "compile_plan",
+    "order_atoms",
 ]

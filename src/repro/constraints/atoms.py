@@ -6,8 +6,10 @@ Three atom kinds appear inside a denial ``∀x̄ ¬(A₁ ∧ … ∧ A_m)``:
   variables to attribute positions;
 * :class:`BuiltinAtom` - a comparison between a variable and an integer
   constant, ``x θ c`` with θ ∈ {=, ≠, <, >, ≤, ≥};
-* :class:`VariableComparison` - ``x = y`` or ``x ≠ y`` between two
-  variables (the only variable-variable built-ins linear denials allow).
+* :class:`VariableComparison` - a comparison ``x θ y + c`` between two
+  variables, optionally shifted by an integer offset (``x = y``,
+  ``x ≠ y``, ``x < y``, ``x ≤ y + 5``, ...).  Locality restricts these to
+  hard attributes, which is what keeps attribute-update repairs sound.
 
 Comparators know how to evaluate themselves and how to *normalize*:
 footnote 2 of the paper rewrites ``x ≤ c`` as ``x < c+1`` and ``x ≥ c`` as
@@ -132,27 +134,53 @@ class BuiltinAtom:
 
 @dataclass(frozen=True)
 class VariableComparison:
-    """A variable/variable built-in ``x = y`` or ``x ≠ y``.
+    """A variable/variable built-in ``x θ y + c`` with θ ∈ {=, ≠, <, >, ≤, ≥}.
 
-    Linear denials only allow equality and inequality between variables
-    (Section 2); order comparisons between variables would make the
-    constraint non-linear.
+    ``offset`` shifts the right-hand side by an integer constant, giving
+    the linear comparison forms ``x < y``, ``x ≤ y + c``, ``x ≠ y - c``,
+    and so on.  Locality condition (a) restricts *every* variable/variable
+    built-in to hard attributes (see :mod:`repro.constraints.locality`), so
+    admitting order comparators keeps the repair construction sound: fixes
+    only ever move flexible attributes, which these atoms never mention.
     """
 
     left: str
     comparator: Comparator
     right: str
+    offset: int = 0
 
     def __post_init__(self) -> None:
-        if self.comparator not in (Comparator.EQ, Comparator.NE):
+        if not isinstance(self.offset, int) or isinstance(self.offset, bool):
             raise ConstraintError(
-                "variable-variable built-ins may only use = or != "
-                f"(got {self.comparator.value!r})"
+                f"variable-comparison offset must be an integer, got "
+                f"{self.offset!r}"
             )
 
     def evaluate(self, left_value: Any, right_value: Any) -> bool:
-        """True when ``left_value θ right_value`` holds."""
+        """True when ``left_value θ (right_value + offset)`` holds."""
+        if self.offset:
+            right_value = right_value + self.offset
         return self.comparator.evaluate(left_value, right_value)
 
+    @property
+    def is_equality(self) -> bool:
+        """True for ``=`` (usable as an equality-join edge by planners)."""
+        return self.comparator is Comparator.EQ
+
+    @property
+    def is_order(self) -> bool:
+        """True for the order comparators ``<``, ``>``, ``≤``, ``≥``."""
+        return self.comparator in (
+            Comparator.LT,
+            Comparator.GT,
+            Comparator.LE,
+            Comparator.GE,
+        )
+
     def __str__(self) -> str:
-        return f"{self.left} {self.comparator.value} {self.right}"
+        suffix = ""
+        if self.offset > 0:
+            suffix = f" + {self.offset}"
+        elif self.offset < 0:
+            suffix = f" - {-self.offset}"
+        return f"{self.left} {self.comparator.value} {self.right}{suffix}"

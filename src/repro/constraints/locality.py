@@ -40,7 +40,14 @@ class FixDirection(enum.Enum):
 
 
 def _equality_variables(constraint: DenialConstraint) -> set[str]:
-    """Variables occurring in equality-class built-ins (=, ≠) or var-var atoms."""
+    """Variables condition (a) restricts to hard attributes.
+
+    These are the variables of equality-class built-ins (=, ≠ against a
+    constant) and of *every* variable/variable comparison - including the
+    order forms ``x < y + c``: a fix moving either side of a cross-atom
+    comparison could create fresh violations, so such variables must be
+    hard for locality to hold.
+    """
     variables: set[str] = set()
     for builtin in constraint.builtins:
         if builtin.comparator in (Comparator.EQ, Comparator.NE):
@@ -71,7 +78,7 @@ def check_local(constraint: DenialConstraint, schema: Schema) -> None:
                 raise LocalityError(
                     f"{constraint.label}: condition (a) fails - flexible "
                     f"attribute {relation_name}.{attribute_name} participates "
-                    "in an equality atom or join"
+                    "in an equality atom, join, or variable comparison"
                 )
 
     # (b) at least one flexible attribute among the built-in attributes.

@@ -6,8 +6,12 @@ The grammar accepted by :func:`parse_denial`::
                  |  atom ("," atom)*
     atom        :=  relation_atom | builtin
     relation    :=  NAME "(" NAME ("," NAME)* ")"
-    builtin     :=  NAME op (INT | NAME)
+    builtin     :=  NAME op (INT | NAME [("+" | "-") INT])
     op          :=  "<" | ">" | "<=" | ">=" | "=" | "==" | "!=" | "<>"
+
+Variable/variable comparisons accept an integer offset on the right-hand
+side (``p > q + 10``, ``a <= b - 2``), covering the linear forms
+``x θ y + c``.
 
 Examples (the paper's constraints)::
 
@@ -38,6 +42,7 @@ _TOKEN_RE = re.compile(
       (?P<int>-?\d+)
     | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
     | (?P<op><=|>=|!=|<>|==|=|<|>)
+    | (?P<sign>[+-])
     | (?P<lparen>\()
     | (?P<rparen>\))
     | (?P<comma>,)
@@ -157,12 +162,19 @@ class _Parser:
         if follower is not None and follower.kind == "op":
             operator = Comparator.from_symbol(self._next().text)
             operand = self._next()
+            if operand.kind == "sign":
+                # A constant with a detached sign: ``a < - 2``.
+                number = self._expect("int")
+                value = int(operand.text + number.text)
+                builtins.append(BuiltinAtom(first.text, operator, value))
+                return
             if operand.kind == "int":
                 builtins.append(BuiltinAtom(first.text, operator, int(operand.text)))
                 return
             if operand.kind == "name":
+                offset = self._parse_offset()
                 variable_comparisons.append(
-                    VariableComparison(first.text, operator, operand.text)
+                    VariableComparison(first.text, operator, operand.text, offset)
                 )
                 return
             raise ConstraintParseError(
@@ -172,6 +184,26 @@ class _Parser:
         raise ConstraintParseError(
             f"expected '(' or comparison after {first.text!r} in {self._source!r}"
         )
+
+    def _parse_offset(self) -> int:
+        """Optional ``± INT`` offset after a variable-comparison RHS.
+
+        Also accepts an adjoined negative literal (``x > y -2`` tokenizes
+        the ``-2`` as an int); a bare positive int with no sign is *not*
+        an offset and is left for the caller to reject as trailing input.
+        """
+        follower = self._peek()
+        if follower is None:
+            return 0
+        if follower.kind == "sign":
+            self._next()
+            number = self._expect("int")
+            magnitude = int(number.text)
+            return magnitude if follower.text == "+" else -magnitude
+        if follower.kind == "int" and follower.text.startswith("-"):
+            self._next()
+            return int(follower.text)
+        return 0
 
 
 def parse_denial(text: str, name: str = "") -> DenialConstraint:

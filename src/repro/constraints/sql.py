@@ -98,9 +98,13 @@ def violation_query(constraint: DenialConstraint, schema: Schema) -> ViolationQu
             f"{column_of(builtin.variable)} {builtin.comparator.sql} {builtin.constant}"
         )
     for comparison in constraint.variable_comparisons:
+        right = column_of(comparison.right)
+        if comparison.offset > 0:
+            right = f"{right} + {comparison.offset}"
+        elif comparison.offset < 0:
+            right = f"{right} - {-comparison.offset}"
         where_parts.append(
-            f"{column_of(comparison.left)} {comparison.comparator.sql} "
-            f"{column_of(comparison.right)}"
+            f"{column_of(comparison.left)} {comparison.comparator.sql} {right}"
         )
 
     sql = f"SELECT {', '.join(select_parts)} FROM {', '.join(from_parts)}"

@@ -62,6 +62,16 @@ class UncoverableError(SetCoverError):
     """Some universe element belongs to no set, so no cover exists."""
 
 
+class KernelError(ReproError):
+    """The columnar detection-kernel engine is unavailable or unsupported.
+
+    Raised when ``engine="kernel"`` is requested without NumPy installed,
+    or when a constraint/data shape has no vectorized plan (e.g. an order
+    comparison over a non-integer column).  The ``auto`` engine catches
+    this internally and falls back to the interpreted detector.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid repair-program configuration (Figure 1 configuration file)."""
 

@@ -9,6 +9,12 @@ keys, and per-attribute repair weights ``α_A``.
 from repro.model.schema import Attribute, AttributeRole, Relation, Schema
 from repro.model.tuples import Tuple, TupleRef
 from repro.model.instance import DatabaseInstance
+from repro.model.columnar import (
+    ColumnarRelation,
+    ColumnarStore,
+    kernel_available,
+    store_for,
+)
 
 __all__ = [
     "Attribute",
@@ -18,4 +24,8 @@ __all__ = [
     "Tuple",
     "TupleRef",
     "DatabaseInstance",
+    "ColumnarRelation",
+    "ColumnarStore",
+    "kernel_available",
+    "store_for",
 ]

@@ -29,6 +29,11 @@ class DatabaseInstance:
         self._tables: dict[str, dict[tuple[Any, ...], Tuple]] = {
             r.name: {} for r in schema
         }
+        # Per-relation mutation counters.  Derived read-optimized views
+        # (the columnar snapshots of :mod:`repro.model.columnar`) key their
+        # caches on these, so any insert/replace/delete invalidates exactly
+        # the relation it touched.
+        self._versions: dict[str, int] = {r.name: 0 for r in schema}
 
     # -- construction -------------------------------------------------------
 
@@ -55,6 +60,7 @@ class DatabaseInstance:
                 f"duplicate key {key!r} in relation {tup.relation.name!r}"
             )
         table[key] = tup
+        self._versions[tup.relation.name] += 1
 
     def insert_row(self, relation_name: str, row: Iterable[Any]) -> Tuple:
         """Convenience: build and insert a tuple from raw values."""
@@ -123,6 +129,17 @@ class DatabaseInstance:
         """The set ``val(K_R)`` of key-value tuples of a relation."""
         return set(self._table(relation_name))
 
+    def data_version(self, relation_name: str) -> int:
+        """Mutation counter of one relation.
+
+        Increments on every insert, replace, and delete touching the
+        relation; never decreases.  Cached derived structures (columnar
+        snapshots, future index layers) compare it against the version
+        they were built at to decide whether a rebuild is due.
+        """
+        self._table(relation_name)          # validate the name
+        return self._versions[relation_name]
+
     # -- mutation ------------------------------------------------------------
 
     def replace_tuple(self, new_tuple: Tuple) -> Tuple:
@@ -140,17 +157,20 @@ class DatabaseInstance:
             )
         old = table[key]
         table[key] = new_tuple
+        self._versions[new_tuple.relation.name] += 1
         return old
 
     def delete(self, relation_name: str, key: tuple[Any, ...]) -> Tuple:
         """Remove and return the tuple with the given key."""
         table = self._table(relation_name)
         try:
-            return table.pop(tuple(key))
+            removed = table.pop(tuple(key))
         except KeyError:
             raise InstanceError(
                 f"cannot delete: no tuple with key {key!r} in {relation_name!r}"
             ) from None
+        self._versions[relation_name] += 1
+        return removed
 
     def copy(self) -> "DatabaseInstance":
         """Shallow copy (tuples are immutable, so sharing them is safe)."""

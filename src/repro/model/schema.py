@@ -94,6 +94,9 @@ class Relation:
     attributes: tuple[Attribute, ...]
     key: tuple[str, ...]
     _index: Mapping[str, int] = field(init=False, repr=False, compare=False, hash=False)
+    _key_positions: tuple[int, ...] = field(
+        init=False, repr=False, compare=False, hash=False
+    )
 
     def __init__(
         self,
@@ -129,6 +132,9 @@ class Relation:
         object.__setattr__(self, "attributes", attrs)
         object.__setattr__(self, "key", key_names)
         object.__setattr__(self, "_index", index)
+        object.__setattr__(
+            self, "_key_positions", tuple(index[k] for k in key_names)
+        )
 
     # -- lookups -----------------------------------------------------------
 
@@ -175,7 +181,7 @@ class Relation:
     @property
     def key_positions(self) -> tuple[int, ...]:
         """Positions of the key attributes in declaration order of the key."""
-        return tuple(self._index[k] for k in self.key)
+        return self._key_positions
 
     def is_key_attribute(self, name: str) -> bool:
         """True if ``name`` belongs to the primary key ``K_R``."""

@@ -14,6 +14,10 @@ from typing import Any, Iterator, Mapping
 from repro.exceptions import InstanceError
 from repro.model.schema import Relation
 
+# Distinct "not computed yet" marker for TupleRef._flat_key, whose computed
+# value may legitimately be None.
+_UNSET: Any = object()
+
 
 class Tuple:
     """An immutable tuple of a relation.
@@ -23,7 +27,7 @@ class Tuple:
     (the paper's domain for ``F`` is ℤ).
     """
 
-    __slots__ = ("_relation", "_values", "_hash")
+    __slots__ = ("_relation", "_values", "_hash", "_ref")
 
     def __init__(self, relation: Relation, values: tuple[Any, ...] | list[Any]) -> None:
         values = tuple(values)
@@ -41,6 +45,7 @@ class Tuple:
         self._relation = relation
         self._values = values
         self._hash = hash((relation.name, values))
+        self._ref: TupleRef | None = None
 
     # -- accessors ----------------------------------------------------------
 
@@ -71,8 +76,11 @@ class Tuple:
 
     @property
     def ref(self) -> "TupleRef":
-        """The cross-instance identity of this tuple."""
-        return TupleRef(self._relation.name, self.key)
+        """The cross-instance identity of this tuple (cached: both are immutable)."""
+        ref = self._ref
+        if ref is None:
+            ref = self._ref = TupleRef(self._relation.name, self.key)
+        return ref
 
     def as_dict(self) -> dict[str, Any]:
         """Mapping of attribute name -> value."""
@@ -148,12 +156,19 @@ class TupleRef:
     2.1), so a ``TupleRef`` valid in ``D`` resolves in every repair of ``D``.
     """
 
-    __slots__ = ("relation_name", "key_values", "_hash")
+    __slots__ = ("relation_name", "key_values", "_hash", "_sort_key", "_flat_key")
 
     def __init__(self, relation_name: str, key_values: tuple[Any, ...]) -> None:
         self.relation_name = relation_name
         self.key_values = tuple(key_values)
         self._hash = hash((relation_name, self.key_values))
+        self._sort_key: tuple | None = None
+        self._flat_key: str | None = _UNSET
+
+    def __reduce__(self) -> tuple:
+        # Rebuild from the public fields: the cache slots hold a process-local
+        # sentinel that must not travel through pickle (worker payloads).
+        return (TupleRef, (self.relation_name, self.key_values))
 
     def __hash__(self) -> int:
         return self._hash
@@ -175,11 +190,42 @@ class TupleRef:
 
         Values are tagged with their type name so keys like ``("B1",)`` and
         ``(235,)`` compare deterministically instead of raising TypeError.
+        Computed once per ref: ordering passes over large violation sets hit
+        this on every comparison.
         """
-        return (
-            self.relation_name,
-            tuple((type(v).__name__, str(v)) for v in self.key_values),
-        )
+        key = self._sort_key
+        if key is None:
+            key = self._sort_key = (
+                self.relation_name,
+                tuple((type(v).__name__, str(v)) for v in self.key_values),
+            )
+        return key
+
+    @property
+    def flat_sort_key(self) -> str | None:
+        """A single string whose ``<`` order equals :attr:`sort_key` order.
+
+        :attr:`sort_key` is a nested tuple of strings; comparing two of them
+        walks the structure element by element.  Joining the same components
+        with NUL - strictly smaller than every character the components can
+        contain - yields a flat string with the identical order (the usual
+        separator argument: a component that is a strict prefix of another
+        loses at the separator position).  The flattening is also injective,
+        because refs with equal relation names render the same shape.  Hot
+        ordering passes sort these at C speed instead of walking tuples.
+
+        Returns ``None`` when some component does contain NUL (then no flat
+        encoding is safe and callers must compare :attr:`sort_key` itself).
+        """
+        key = self._flat_key
+        if key is _UNSET:
+            parts = [self.relation_name]
+            for value in self.key_values:
+                parts.append(type(value).__name__)
+                parts.append(str(value))
+            key = None if any("\x00" in p for p in parts) else "\x00".join(parts)
+            self._flat_key = key
+        return key
 
     def __repr__(self) -> str:
         keys = ", ".join(repr(v) for v in self.key_values)

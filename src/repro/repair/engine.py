@@ -28,6 +28,7 @@ from repro.runtime.executor import ExecutionPolicy, Executor
 from repro.setcover.decompose import solve_by_components
 from repro.setcover.solvers import DEFAULT_SOLVER, component_solver, get_solver
 from repro.violations.detector import ViolationSet, find_all_violations, is_consistent
+from repro.violations.kernels import resolve_engine
 
 logger = logging.getLogger(__name__)
 
@@ -43,6 +44,7 @@ def repair_database(
     simplify: bool = False,
     parallel: "bool | str | ExecutionPolicy | None" = None,
     max_workers: int | None = None,
+    engine: str = "auto",
 ) -> RepairResult:
     """Compute an (approximate) attribute-update repair of ``instance``.
 
@@ -82,6 +84,12 @@ def repair_database(
         backend and worker count (see DESIGN.md, "Parallel runtime").
     max_workers:
         Worker bound for the parallel stages (default: all cores).
+    engine:
+        Violation-detection engine: ``auto`` (default; the columnar
+        kernel when NumPy is importable, interpreted otherwise),
+        ``kernel``, or ``interpreted``.  Both engines yield
+        byte-identical violations, hence identical repairs; the choice
+        also applies to post-repair verification.
 
     Returns
     -------
@@ -114,7 +122,10 @@ def repair_database(
         if executor.is_parallel and len(constraints) > 1:
             detect_workers = min(executor.workers, len(constraints))
         violations = find_all_violations(
-            instance, constraints, executor=executor if detect_workers > 1 else None
+            instance,
+            constraints,
+            executor=executor if detect_workers > 1 else None,
+            engine=engine,
         )
     detected = time.perf_counter()
 
@@ -177,8 +188,8 @@ def repair_database(
 
     verified = False
     if verify:
-        if not is_consistent(repaired, constraints):
-            remaining = find_all_violations(repaired, constraints)
+        if not is_consistent(repaired, constraints, engine=engine):
+            remaining = find_all_violations(repaired, constraints, engine=engine)
             raise RepairError(
                 f"repair left {len(remaining)} violations - the constraint "
                 "set is not local or the cover construction is inconsistent; "
@@ -187,6 +198,7 @@ def repair_database(
         verified = True
 
     solver_stats = dict(cover.stats)
+    solver_stats["detection_engine"] = resolve_engine(engine)
     if decomposed:
         solver_stats["runtime_backend"] = executor.backend
         solver_stats["runtime_workers"] = float(executor.workers)

@@ -63,10 +63,17 @@ class IncrementalRepairer:
         repair_initial: bool = True,
         parallel: "bool | str | ExecutionPolicy | None" = None,
         max_workers: int | None = None,
+        engine: str = "auto",
     ) -> None:
         self._constraints = tuple(constraints)
         self._algorithm = algorithm
         self._metric = get_metric(metric)
+        # Whole-instance passes (initial repair, verify) honour ``engine``
+        # as-is; anchored commit detection hands the detector its join
+        # indexes, so ``auto`` resolves to the interpreted Δ-proportional
+        # path there (a per-commit columnar snapshot rebuild would cost
+        # O(|D|)).  ``engine="kernel"`` forces the kernel everywhere.
+        self._engine = engine
         # Anchored detection is dominated by hash lookups against the
         # shared join-index cache, which a process pool cannot see - so
         # ``parallel=True`` resolves to threads here, keeping the cache
@@ -80,7 +87,7 @@ class IncrementalRepairer:
         check_local_set(self._constraints, instance.schema)
 
         self._instance = instance.copy()
-        if not is_consistent(self._instance, self._constraints):
+        if not is_consistent(self._instance, self._constraints, engine=engine):
             if not repair_initial:
                 raise RepairError(
                     "initial instance is inconsistent; pass "
@@ -162,6 +169,7 @@ class IncrementalRepairer:
             self._staged,
             raw_indexes=self._join_indexes,
             executor=self._executor if self._policy.is_parallel else None,
+            engine=self._engine,
         )
         self._staged = []
         if not violations:
@@ -228,7 +236,9 @@ class IncrementalRepairer:
         )
 
     def _verify(self) -> None:
-        remaining = find_all_violations(self._instance, self._constraints)
+        remaining = find_all_violations(
+            self._instance, self._constraints, engine=self._engine
+        )
         if remaining:
             raise RepairError(
                 f"incremental commit left {len(remaining)} violations; "

@@ -93,17 +93,19 @@ def solve_component_batch(
 def detect_constraint_batch(payload: tuple) -> list[tuple]:
     """Run ``find_violations`` for one batch of constraints.
 
-    ``payload`` is ``(instance, constraints, max_violations)``; the result
-    is one tuple of :class:`~repro.violations.detector.ViolationSet` per
-    constraint, in batch order.  A tripped ``max_violations`` safety valve
-    raises :class:`~repro.exceptions.ConstraintError`, which the executor
-    re-raises in the parent.
+    ``payload`` is ``(instance, constraints, max_violations, engine)``; the
+    result is one tuple of :class:`~repro.violations.detector.ViolationSet`
+    per constraint, in batch order.  A tripped ``max_violations`` safety
+    valve raises :class:`~repro.exceptions.ConstraintError`, which the
+    executor re-raises in the parent.  Process workers receive a pickled
+    instance copy and build their own columnar snapshots for the kernel
+    engine.
     """
-    instance, constraints, max_violations = payload
+    instance, constraints, max_violations, engine = payload
     from repro.violations.detector import find_violations
 
     return [
-        find_violations(instance, constraint, max_violations)
+        find_violations(instance, constraint, max_violations, engine)
         for constraint in constraints
     ]
 
@@ -111,14 +113,16 @@ def detect_constraint_batch(payload: tuple) -> list[tuple]:
 def detect_anchored_batch(payload: tuple) -> list[tuple]:
     """Anchored (incremental) detection for one batch of constraints.
 
-    ``payload`` is ``(instance, constraints, anchors, raw_indexes)``;
+    ``payload`` is ``(instance, constraints, anchors, raw_indexes, engine)``;
     returns one tuple of ``ViolationSet`` per constraint, in batch order.
     """
-    instance, constraints, anchors, raw_indexes = payload
+    instance, constraints, anchors, raw_indexes, engine = payload
     from repro.violations.detector import violations_involving_constraint
 
     return [
-        violations_involving_constraint(instance, constraint, anchors, raw_indexes)
+        violations_involving_constraint(
+            instance, constraint, anchors, raw_indexes, engine
+        )
         for constraint in constraints
     ]
 

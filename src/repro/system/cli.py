@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker bound for the parallel runtime (default: all cores)",
     )
     parser.add_argument(
+        "--engine",
+        choices=["auto", "kernel", "interpreted"],
+        help="override the violation-detection engine: the columnar NumPy "
+        "kernel, the interpreted enumeration, or auto (kernel when NumPy "
+        "is available; results are identical either way)",
+    )
+    parser.add_argument(
         "--profile-only",
         action="store_true",
         help="print the inconsistency profile and exit without repairing",
@@ -92,6 +99,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print("error: --max-workers must be >= 1", file=sys.stderr)
                 return 1
             overrides["runtime_workers"] = args.max_workers
+        if args.engine:
+            overrides["detection_engine"] = args.engine
         if overrides:
             config = dataclasses.replace(config, **overrides)
         program = RepairProgram(config)

@@ -25,7 +25,7 @@ into text file)."*  We use JSON::
       "algorithm": "modified-greedy",
       "metric": "l1",
       "violation_detection": "memory",
-      "runtime": {"backend": "process", "max_workers": 4},
+      "runtime": {"backend": "process", "max_workers": 4, "engine": "auto"},
       "source": {"backend": "sqlite", "path": "clients.db"},
       "export": {"mode": "update"}
     }
@@ -34,8 +34,10 @@ into text file)."*  We use JSON::
 inline ``rows``); ``export.mode`` is ``update`` / ``insert`` / ``dump``
 (the latter with ``destination``).  The optional ``runtime`` block picks
 the parallel-execution backend (``serial`` / ``thread`` / ``process`` /
-``auto``) and worker count for the detection and solving stages; it
-defaults to the serial pipeline.
+``auto``) and worker count for the detection and solving stages, plus the
+in-memory violation-detection ``engine`` (``auto`` / ``kernel`` /
+``interpreted``, see :mod:`repro.violations.kernels`); it defaults to the
+serial pipeline with the ``auto`` engine.
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ from repro.model.schema import Attribute, AttributeRole, Relation, Schema
 from repro.runtime.executor import BACKENDS, ExecutionPolicy
 from repro.setcover.solvers import SOLVERS
 from repro.storage.base import ExportMode
+from repro.violations.kernels import ENGINES as _VALID_ENGINES
 
 _VALID_DETECTION = ("memory", "sql")
 
@@ -69,8 +72,9 @@ class RepairConfig:
     (``delete``, Section 5), and the conclusion's combined mode
     (``mixed``); ``table_weights`` sets the per-relation deletion weights
     ``α_{δ_R}`` for the deletion-based modes.  ``runtime_backend`` /
-    ``runtime_workers`` configure the parallel-execution runtime (the
-    JSON ``runtime`` block).
+    ``runtime_workers`` / ``detection_engine`` configure the
+    parallel-execution runtime and violation-detection engine (the JSON
+    ``runtime`` block).
     """
 
     schema: Schema
@@ -85,6 +89,7 @@ class RepairConfig:
     table_weights: Mapping[str, float] = field(default_factory=dict)
     runtime_backend: str = "serial"
     runtime_workers: int | None = None
+    detection_engine: str = "auto"
 
     @property
     def execution_policy(self) -> ExecutionPolicy:
@@ -190,6 +195,12 @@ class RepairConfig:
                 f"runtime.max_workers must be a positive integer, "
                 f"got {runtime_workers!r}"
             )
+        detection_engine = runtime.get("engine", "auto")
+        if detection_engine not in _VALID_ENGINES:
+            raise ConfigError(
+                f"runtime.engine must be one of {_VALID_ENGINES}, "
+                f"got {detection_engine!r}"
+            )
 
         export = data.get("export", {"mode": "update"})
         if not isinstance(export, Mapping):
@@ -215,6 +226,7 @@ class RepairConfig:
             table_weights=dict(table_weights),
             runtime_backend=runtime_backend,
             runtime_workers=runtime_workers,
+            detection_engine=detection_engine,
         )
 
 

@@ -98,6 +98,7 @@ class RepairProgram:
             metric=self.config.metric,
             violations=violations,
             parallel=policy if policy.backend != "serial" else None,
+            engine=self.config.detection_engine,
         )
         if export:
             note = self.backend.export_repair(
@@ -125,6 +126,7 @@ class RepairProgram:
             table_weights=self.config.table_weights or None,
             metric=self.config.metric,
             parallel=policy if policy.backend != "serial" else None,
+            engine=self.config.detection_engine,
         )
         if export:
             note = self.backend.export_snapshot(

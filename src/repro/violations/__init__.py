@@ -14,8 +14,12 @@ from repro.violations.degree import (
     degree_of_tuple,
     inconsistency_profile,
 )
+from repro.violations.kernels import ENGINES, kernel_witnesses, resolve_engine
 
 __all__ = [
+    "ENGINES",
+    "kernel_witnesses",
+    "resolve_engine",
     "ViolationSet",
     "find_all_violations",
     "find_violations",

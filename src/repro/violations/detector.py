@@ -11,6 +11,21 @@ hash indexes on the join positions avoid quadratic scans (this is the
 in-memory equivalent of the SQL views of Algorithm 2 - the sqlite backend
 in :mod:`repro.storage.sqlite` runs the actual SQL instead).  The used
 tuple sets of the assignments are then reduced to the *minimal* ones.
+
+Every public entry point takes an ``engine`` argument choosing between
+this *interpreted* enumeration and the columnar *kernel* executor of
+:mod:`repro.violations.kernels`:
+
+* ``"interpreted"`` - the backtracking join above, always available;
+* ``"kernel"`` - vectorized NumPy execution of the compiled plan; raises
+  :class:`~repro.exceptions.KernelError` without NumPy or on data shapes
+  with no vectorized form;
+* ``"auto"`` (default) - the kernel when NumPy is importable, falling
+  back to the interpreted path per constraint on :class:`KernelError`.
+
+Both engines produce byte-identical results: the kernel computes the same
+satisfying-assignment witness sets, which then flow through the same
+minimality reduction and deterministic ordering.
 """
 
 from __future__ import annotations
@@ -19,9 +34,14 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.constraints.denial import DenialConstraint
-from repro.exceptions import ConstraintError
+from repro.exceptions import ConstraintError, KernelError
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
+from repro.violations.kernels import (
+    anchored_kernel_witnesses,
+    kernel_witnesses,
+    resolve_engine,
+)
 
 
 @dataclass(frozen=True)
@@ -46,10 +66,21 @@ class ViolationSet:
         return iter(self.tuples)
 
     def sorted_tuples(self) -> tuple[Tuple, ...]:
-        """Tuples in a deterministic order (for stable output)."""
-        return tuple(
-            sorted(self.tuples, key=lambda t: t.ref.sort_key)
-        )
+        """Tuples in a deterministic order (for stable output).
+
+        The order is computed once and cached on the instance - repair
+        tracing and greedy scoring call this repeatedly on the same
+        (frozen, hence immutable) violation set.  The cache is not a
+        dataclass field, so equality, hashing, and pickling are
+        unaffected.
+        """
+        cached = self.__dict__.get("_sorted_cache")
+        if cached is None:
+            cached = tuple(
+                sorted(self.tuples, key=lambda t: t.ref.sort_key)
+            )
+            object.__setattr__(self, "_sorted_cache", cached)
+        return cached
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(t) for t in self.sorted_tuples())
@@ -273,6 +304,11 @@ def _minimal_sets(used_sets: set[frozenset[Tuple]]) -> list[frozenset[Tuple]]:
     if not used_sets:
         return []
     sizes_present = {len(used) for used in used_sets}
+    if len(sizes_present) == 1:
+        # Uniform-size witnesses (the usual shape: one tuple per atom, no
+        # self-join collapse): a proper subset would be a strictly smaller
+        # witness, and none exists.  Skip the per-set checks entirely.
+        return list(used_sets)
     singleton_members: set[Tuple] = (
         {member for used in used_sets if len(used) == 1 for member in used}
         if 1 in sizes_present
@@ -318,18 +354,83 @@ def _has_proper_subset(
     return False
 
 
+def _ordered_violation_sets(
+    used_sets: set[frozenset[Tuple]], constraint: DenialConstraint
+) -> tuple[ViolationSet, ...]:
+    """Minimality reduction + the deterministic output order.
+
+    Both engines funnel their witness sets through here, which is what
+    makes their results byte-identical.
+
+    The canonical order is by the sorted list of member ``sort_key``\\ s.
+    The hot path compares :attr:`TupleRef.flat_sort_key` instead - a flat
+    string with the identical order - so the sort runs on C string
+    comparisons rather than nested-tuple walks; key tuples of different
+    lengths follow the same prefix rule as the key lists they replace, and
+    the trailing index is never compared because distinct sets have
+    distinct key tuples.  Any ref without a flat form (NUL in a rendered
+    key value) falls back to comparing ``sort_key`` directly.
+    """
+    minimal = _minimal_sets(used_sets)
+    keyed: list[tuple[tuple[str, ...], int]] = []
+    flat_ok = True
+    for index, used in enumerate(minimal):
+        keys = []
+        for tup in used:
+            flat = tup.ref.flat_sort_key
+            if flat is None:
+                flat_ok = False
+                break
+            keys.append(flat)
+        if not flat_ok:
+            break
+        keys.sort()
+        keyed.append((tuple(keys), index))
+    if flat_ok:
+        keyed.sort()
+        ordered = [minimal[index] for _, index in keyed]
+    else:
+        ordered = sorted(minimal, key=lambda s: sorted(t.ref.sort_key for t in s))
+    return tuple(ViolationSet(s, constraint) for s in ordered)
+
+
+def _kernel_used_sets(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    max_violations: int | None,
+) -> set[frozenset[Tuple]]:
+    """Kernel witness retrieval with the ``max_violations`` safety valve."""
+    used_sets, count = kernel_witnesses(instance, constraint)
+    if max_violations is not None and count > max_violations:
+        raise ConstraintError(
+            f"{constraint.label}: more than {max_violations} violation "
+            "witnesses; refusing to enumerate further"
+        )
+    return used_sets
+
+
 def find_violations(
     instance: DatabaseInstance,
     constraint: DenialConstraint,
     max_violations: int | None = None,
+    engine: str = "auto",
 ) -> tuple[ViolationSet, ...]:
     """Compute ``I(D, ic)``: all minimal violation sets of one constraint.
 
     ``max_violations`` bounds the number of satisfying assignments explored
     (a safety valve against accidentally cartesian constraints); exceeding
-    it raises :class:`ConstraintError`.
+    it raises :class:`ConstraintError`.  ``engine`` selects the columnar
+    kernel or the interpreted enumeration (see the module docstring).
     """
-    used_sets: set[frozenset[Tuple]] = set()
+    if resolve_engine(engine) == "kernel":
+        try:
+            used_sets = _kernel_used_sets(instance, constraint, max_violations)
+        except KernelError:
+            if engine == "kernel":
+                raise
+        else:
+            return _ordered_violation_sets(used_sets, constraint)
+    used_sets = set()
     for count, assignment in enumerate(
         _satisfying_assignments(instance, constraint), start=1
     ):
@@ -339,11 +440,7 @@ def find_violations(
                 "witnesses; refusing to enumerate further"
             )
         used_sets.add(frozenset(assignment))
-    ordered = sorted(
-        _minimal_sets(used_sets),
-        key=lambda s: sorted(t.ref.sort_key for t in s),
-    )
-    return tuple(ViolationSet(s, constraint) for s in ordered)
+    return _ordered_violation_sets(used_sets, constraint)
 
 
 def find_all_violations(
@@ -351,6 +448,7 @@ def find_all_violations(
     constraints: Iterable[DenialConstraint],
     max_violations: int | None = None,
     executor=None,
+    engine: str = "auto",
 ) -> tuple[ViolationSet, ...]:
     """Compute ``I(D, IC)`` across all constraints, in constraint order.
 
@@ -362,12 +460,18 @@ def find_all_violations(
     constraint order: the output is identical to the serial loop.  The
     ``max_violations`` safety valve keeps working; a tripped valve in any
     worker raises :class:`~repro.exceptions.ConstraintError` here.
+
+    ``engine`` composes with the fan-out: each worker runs the requested
+    engine on its constraint batch (process workers rebuild their own
+    columnar snapshots from the shipped instance).
     """
     constraints = tuple(constraints)
-    per_constraint = _detect_parallel(instance, constraints, max_violations, executor)
+    per_constraint = _detect_parallel(
+        instance, constraints, max_violations, executor, engine
+    )
     if per_constraint is None:
         per_constraint = [
-            find_violations(instance, constraint, max_violations)
+            find_violations(instance, constraint, max_violations, engine)
             for constraint in constraints
         ]
     result: list[ViolationSet] = []
@@ -381,6 +485,7 @@ def _detect_parallel(
     constraints: tuple[DenialConstraint, ...],
     max_violations: int | None,
     executor,
+    engine: str = "auto",
 ) -> list[tuple[ViolationSet, ...]] | None:
     """Per-constraint fan-out of ``find_violations``; ``None`` = stay serial."""
     if executor is None:
@@ -394,7 +499,7 @@ def _detect_parallel(
     costs = [detection_cost(constraint) for constraint in constraints]
     chunks = balanced_chunks(costs, ex.n_chunks(len(constraints)))
     payloads = [
-        (instance, [constraints[i] for i in chunk], max_violations)
+        (instance, [constraints[i] for i in chunk], max_violations, engine)
         for chunk in chunks
     ]
     results: list[tuple[ViolationSet, ...] | None] = [None] * len(constraints)
@@ -453,13 +558,33 @@ def violations_involving_constraint(
     constraint: DenialConstraint,
     anchors: Sequence[Tuple],
     raw_indexes: Mapping | None = None,
+    engine: str = "auto",
 ) -> tuple[ViolationSet, ...]:
     """One constraint's share of :func:`find_violations_involving`.
 
     Exposed as a top-level function so the parallel runtime can dispatch
-    it per constraint (see :mod:`repro.runtime.workers`).
+    it per constraint (see :mod:`repro.runtime.workers`).  The kernel
+    engine pins the anchored atom first in its join order and restricts
+    that atom's candidates to the anchors; ``raw_indexes`` only applies
+    to the interpreted path (the kernel has its own columnar snapshots).
+    Under ``"auto"``, supplying ``raw_indexes`` therefore selects the
+    interpreted path: persistent join indexes make anchored work
+    proportional to the change set, while the kernel would rebuild
+    whole-relation snapshots on every call - pass ``engine="kernel"``
+    to force the kernel anyway.
     """
-    used_sets: set[frozenset[Tuple]] = set()
+    resolved = resolve_engine(engine)
+    if engine == "auto" and raw_indexes is not None:
+        resolved = "interpreted"
+    if resolved == "kernel":
+        try:
+            used_sets = anchored_kernel_witnesses(instance, constraint, anchors)
+        except KernelError:
+            if engine == "kernel":
+                raise
+        else:
+            return _ordered_violation_sets(used_sets, constraint)
+    used_sets = set()
     for atom_index in range(len(constraint.relation_atoms)):
         relevant = [
             t
@@ -477,11 +602,7 @@ def violations_involving_constraint(
             raw_indexes=raw_indexes,
         ):
             used_sets.add(frozenset(assignment))
-    ordered = sorted(
-        _minimal_sets(used_sets),
-        key=lambda s: sorted(t.ref.sort_key for t in s),
-    )
-    return tuple(ViolationSet(s, constraint) for s in ordered)
+    return _ordered_violation_sets(used_sets, constraint)
 
 
 def find_violations_involving(
@@ -490,6 +611,7 @@ def find_violations_involving(
     anchors: Iterable[Tuple],
     raw_indexes: Mapping | None = None,
     executor=None,
+    engine: str = "auto",
 ) -> tuple[ViolationSet, ...]:
     """Violation sets that involve at least one of the ``anchors``.
 
@@ -519,12 +641,12 @@ def find_violations_involving(
     anchor_list = list(anchors)
     constraints = tuple(constraints)
     per_constraint = _detect_anchored_parallel(
-        instance, constraints, anchor_list, raw_indexes, executor
+        instance, constraints, anchor_list, raw_indexes, executor, engine
     )
     if per_constraint is None:
         per_constraint = [
             violations_involving_constraint(
-                instance, constraint, anchor_list, raw_indexes
+                instance, constraint, anchor_list, raw_indexes, engine
             )
             for constraint in constraints
         ]
@@ -540,6 +662,7 @@ def _detect_anchored_parallel(
     anchors: list[Tuple],
     raw_indexes: Mapping | None,
     executor,
+    engine: str = "auto",
 ) -> list[tuple[ViolationSet, ...]] | None:
     """Anchored per-constraint fan-out; ``None`` = stay serial."""
     if executor is None:
@@ -554,7 +677,13 @@ def _detect_anchored_parallel(
     costs = [detection_cost(constraint) for constraint in constraints]
     chunks = balanced_chunks(costs, ex.n_chunks(len(constraints)))
     payloads = [
-        (instance, [constraints[i] for i in chunk], anchors, shipped_indexes)
+        (
+            instance,
+            [constraints[i] for i in chunk],
+            anchors,
+            shipped_indexes,
+            engine,
+        )
         for chunk in chunks
     ]
     results: list[tuple[ViolationSet, ...] | None] = [None] * len(constraints)
@@ -567,9 +696,20 @@ def _detect_anchored_parallel(
 def is_consistent(
     instance: DatabaseInstance,
     constraints: Iterable[DenialConstraint],
+    engine: str = "auto",
 ) -> bool:
     """True when ``D |= IC`` (no satisfying assignment for any denial body)."""
     for constraint in constraints:
+        if resolve_engine(engine) == "kernel":
+            try:
+                _used, count = kernel_witnesses(instance, constraint)
+            except KernelError:
+                if engine == "kernel":
+                    raise
+            else:
+                if count:
+                    return False
+                continue
         for _ in _satisfying_assignments(instance, constraint):
             return False
     return True

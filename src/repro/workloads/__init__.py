@@ -1,6 +1,6 @@
 """Workload generators for examples, tests, and the benchmark harness."""
 
-from repro.workloads.generator import Workload
+from repro.workloads.generator import Workload, random_detection_workload
 from repro.workloads.clientbuy import client_buy_workload
 from repro.workloads.census import census_workload
 from repro.workloads.corruption import CorruptionResult, InjectedError, corrupt
@@ -13,6 +13,7 @@ from repro.workloads.paperdemo import (
 
 __all__ = [
     "Workload",
+    "random_detection_workload",
     "client_buy_workload",
     "census_workload",
     "CorruptionResult",

@@ -117,10 +117,20 @@ class TestVariableComparison:
         assert comparison.evaluate(1, 2)
         assert not comparison.evaluate(2, 2)
 
-    def test_only_eq_ne_allowed(self):
-        # linear denials only allow =, != between variables (Section 2).
+    def test_order_comparators_allowed(self):
+        # linear denials allow the full x θ y + c form (Section 2); the
+        # locality check, not the atom model, restricts their attributes.
+        comparison = VariableComparison("x", Comparator.LT, "y", offset=2)
+        assert comparison.evaluate(3, 2)       # 3 < 2 + 2
+        assert not comparison.evaluate(4, 2)   # not (4 < 2 + 2)
+        assert comparison.is_order
+        assert not comparison.is_equality
+
+    def test_offset_must_be_integer(self):
         with pytest.raises(ConstraintError):
-            VariableComparison("x", Comparator.LT, "y")
+            VariableComparison("x", Comparator.LT, "y", offset="2")
 
     def test_str(self):
         assert str(VariableComparison("x", Comparator.EQ, "y")) == "x = y"
+        assert str(VariableComparison("x", Comparator.LE, "y", offset=3)) == "x <= y + 3"
+        assert str(VariableComparison("x", Comparator.GT, "y", offset=-1)) == "x > y - 1"

@@ -43,6 +43,31 @@ class TestParseDenial:
         assert (comparison.left, comparison.right) == ("y", "z")
         assert comparison.comparator is Comparator.NE
 
+    def test_order_variable_comparison(self):
+        constraint = parse_denial("NOT(P(x, y), P(x, z), y < z)")
+        comparison = constraint.variable_comparisons[0]
+        assert comparison.comparator is Comparator.LT
+        assert comparison.offset == 0
+
+    @pytest.mark.parametrize("text, offset", [
+        ("y < z + 3", 3),
+        ("y < z - 3", -3),
+        ("y >= z + 0", 0),
+        ("y <= z -2", -2),        # adjoined sign: '-2' lexes as one token
+    ])
+    def test_comparison_offsets(self, text, offset):
+        constraint = parse_denial(f"NOT(P(x, y), P(x, z), {text})")
+        assert constraint.variable_comparisons[0].offset == offset
+
+    def test_offset_roundtrips_through_str(self):
+        constraint = parse_denial("NOT(P(x, y), P(x, z), y < z + 3)")
+        assert parse_denial(str(constraint)) == constraint
+
+    def test_bare_int_after_variable_rejected(self):
+        # 'z 3' is not an offset form; only '+ 3' / '- 3' / '-3' are.
+        with pytest.raises(ConstraintParseError):
+            parse_denial("NOT(P(x, y), P(x, z), y < z 3)")
+
     def test_name_prefix(self):
         constraint = parse_denial("my_ic: NOT(P(x), x < 1)")
         assert constraint.name == "my_ic"

@@ -130,3 +130,30 @@ class TestTupleRef:
 
     def test_repr(self):
         assert "Client" in repr(TupleRef("Client", ("c1",)))
+
+    def test_flat_sort_key_matches_sort_key_order(self):
+        refs = [
+            TupleRef("Buy", (10, 2)),
+            TupleRef("Buy", (9, 1)),      # "10" < "9" as strings: flat must agree
+            TupleRef("BuyX", (0,)),       # relation name extends another
+            TupleRef("Client", ("c1",)),
+            TupleRef("Client", (235,)),   # mixed key types within one relation
+        ]
+        by_sort_key = sorted(refs, key=lambda r: r.sort_key)
+        by_flat = sorted(refs, key=lambda r: r.flat_sort_key)
+        assert by_flat == by_sort_key
+
+    def test_flat_sort_key_refuses_nul_values(self):
+        ref = TupleRef("R", ("a\x00b",))
+        assert ref.flat_sort_key is None
+        assert ref.sort_key  # the robust form still works
+
+    def test_caches_survive_pickling(self):
+        import pickle
+
+        ref = TupleRef("R", (1, 2))
+        assert ref.flat_sort_key is not None
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone == ref
+        assert clone.flat_sort_key == ref.flat_sort_key
+        assert clone.sort_key == ref.sort_key

@@ -69,6 +69,41 @@ class TestMaintenance:
         cache.notify_replace(old, new)
         cache.check_consistent()
 
+    def test_replace_moves_tuple_between_buckets(self, setup):
+        _workload, instance, cache = setup
+        index = cache.get(("Client", (1,)))
+        old = instance.get("Client", (4,))
+        new = old.replace(a=123)              # a fresh, unoccupied age bucket
+        instance.replace_tuple(new)
+        cache.notify_replace(old, new)
+        assert index[(123,)] == [new]
+        assert new not in index.get((old.values[1],), [])
+        cache.check_consistent()
+
+    def test_notify_replacements_batch(self, setup):
+        _workload, instance, cache = setup
+        cache.get(("Client", (1,)))
+        cache.get(("Client", (2,)))           # two signatures, both maintained
+        pairs = []
+        for key in [(2,), (5,), (7,)]:
+            old = instance.get("Client", key)
+            new = old.replace(a=old.values[1] + 100, c=old.values[2] + 100)
+            instance.replace_tuple(new)
+            pairs.append((old, new))
+        cache.notify_replacements(pairs)
+        cache.check_consistent()
+        index = cache.get(("Client", (1,)))
+        for old, new in pairs:
+            assert new in index[(new.values[1],)]
+
+    def test_check_consistent_detects_missed_replace(self, setup):
+        _workload, instance, cache = setup
+        cache.get(("Client", (1,)))
+        old = instance.get("Client", (4,))
+        instance.replace_tuple(old.replace(a=200))
+        with pytest.raises(AssertionError):   # mutation without notify_replace
+            cache.check_consistent()
+
     def test_unbuilt_indexes_need_no_maintenance(self, setup):
         _workload, instance, cache = setup
         tup = instance.insert_row("Client", (999, 30, 10))
