@@ -46,6 +46,7 @@ from repro.exceptions import (
     ConstraintParseError,
     InstanceError,
     KeyViolationError,
+    LintError,
     LocalityError,
     RepairError,
     ReproError,
@@ -101,6 +102,12 @@ from repro.cardinality import (
     DeletionRepairResult,
     cardinality_repair,
 )
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    lint_constraints,
+)
 
 __version__ = "1.0.0"
 
@@ -112,6 +119,7 @@ __all__ = [
     "ConstraintParseError",
     "InstanceError",
     "KeyViolationError",
+    "LintError",
     "LocalityError",
     "RepairError",
     "ReproError",
@@ -160,5 +168,10 @@ __all__ = [
     # cardinality
     "DeletionRepairResult",
     "cardinality_repair",
+    # lint
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint_constraints",
     "__version__",
 ]

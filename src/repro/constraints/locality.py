@@ -61,38 +61,18 @@ def _equality_variables(constraint: DenialConstraint) -> set[str]:
 def check_local(constraint: DenialConstraint, schema: Schema) -> None:
     """Check conditions (a) and (b) for one constraint.
 
-    Raises :class:`LocalityError` with a diagnostic message on failure.
+    Raises :class:`LocalityError` with a diagnostic message on failure;
+    the exception's ``diagnostics`` tuple carries *every* failing
+    condition, not just the first (the message stays the first one's).
     Condition (c) is inherently a property of the whole set; use
     :func:`check_local_set` for it.
     """
     constraint.validate(schema)
+    from repro.lint.locality import constraint_locality_diagnostics
 
-    # (a) equality atoms and joins bind only hard attributes.
-    restricted = _equality_variables(constraint) | set(constraint.join_variables)
-    for variable in restricted:
-        for relation_name, attribute_name in constraint.bound_attributes(
-            variable, schema
-        ):
-            attribute = schema.relation(relation_name).attribute(attribute_name)
-            if attribute.is_flexible:
-                raise LocalityError(
-                    f"{constraint.label}: condition (a) fails - flexible "
-                    f"attribute {relation_name}.{attribute_name} participates "
-                    "in an equality atom, join, or variable comparison"
-                )
-
-    # (b) at least one flexible attribute among the built-in attributes.
-    flexible_in_builtins = [
-        (relation_name, attribute_name)
-        for relation_name, attribute_name in constraint.attributes_in_builtins(schema)
-        if schema.relation(relation_name).attribute(attribute_name).is_flexible
-    ]
-    if not flexible_in_builtins:
-        raise LocalityError(
-            f"{constraint.label}: condition (b) fails - no flexible attribute "
-            "occurs in the built-in atoms, so the constraint cannot be "
-            "repaired by attribute updates"
-        )
+    diagnostics = constraint_locality_diagnostics(constraint, schema)
+    if diagnostics:
+        raise LocalityError(diagnostics[0].message, diagnostics=diagnostics)
 
 
 def comparison_directions(
@@ -127,20 +107,20 @@ def check_local_set(
 ) -> None:
     """Check that a set of constraints is local (conditions (a)-(c)).
 
-    Raises :class:`LocalityError` on the first failing condition.
+    Raises :class:`LocalityError` whose message is the first failing
+    condition's (matching the historical fail-first behavior) and whose
+    ``diagnostics`` tuple collects *all* failures - every condition (a)
+    attribute, every condition (b) constraint, every condition (c)
+    direction clash (see :mod:`repro.lint.locality`).
     """
     constraints = list(constraints)
     for constraint in constraints:
-        check_local(constraint, schema)
-    for (relation_name, attribute_name), found in comparison_directions(
-        constraints, schema
-    ).items():
-        if len(found) > 1:
-            raise LocalityError(
-                "condition (c) fails - flexible attribute "
-                f"{relation_name}.{attribute_name} appears in both '<' and '>' "
-                "comparisons across the constraint set"
-            )
+        constraint.validate(schema)
+    from repro.lint.locality import locality_diagnostics
+
+    diagnostics = locality_diagnostics(constraints, schema)
+    if diagnostics:
+        raise LocalityError(diagnostics[0].message, diagnostics=diagnostics)
 
 
 def is_local(constraint: DenialConstraint, schema: Schema) -> bool:

@@ -8,7 +8,10 @@ rules).  Before building violation views it pays to simplify:
   tightest bound);
 * **dead-body elimination** - a body containing ``x < 5 ∧ x > 9`` (after
   normalization, empty integer range) can never be satisfied: the denial
-  is vacuously true and can be dropped;
+  is vacuously true and can be dropped; cross-atom dead bodies built from
+  variable comparisons (``x < y ∧ y < x``, offset cycles like
+  ``x < y + 1 ∧ y < x - 1``) are caught by the difference-constraint
+  satisfiability pass of :mod:`repro.lint.satisfiability`;
 * **duplicate elimination** - syntactically equal denials (after the
   above) are kept once.
 
@@ -72,12 +75,21 @@ def simplify_constraint(constraint: DenialConstraint) -> DenialConstraint | None
         builtins.append(BuiltinAtom(variable, Comparator.LT, constant))
     builtins.extend(passthrough)
 
-    return DenialConstraint(
+    result = DenialConstraint(
         constraint.relation_atoms,
         builtins,
         constraint.variable_comparisons,
         name=constraint.name,
     )
+    if result.variable_comparisons:
+        # The per-variable bound merging above is blind to cross-atom
+        # comparisons; the full difference-constraint system catches
+        # dead bodies like x < y ∧ y < x.
+        from repro.lint.satisfiability import body_is_satisfiable
+
+        if not body_is_satisfiable(result):
+            return None
+    return result
 
 
 def simplify_constraints(

@@ -8,6 +8,8 @@ repair computation, configuration parsing, and storage backends.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -43,7 +45,15 @@ class LocalityError(ConstraintError):
     Local fixes are only guaranteed to exist - and to not cascade into new
     violations - for local constraint sets, so the repair engine refuses to
     run the attribute-update algorithms on non-local input.
+
+    ``diagnostics`` carries *all* failing conditions as structured
+    :class:`~repro.lint.diagnostics.Diagnostic` records (the message is
+    the first one's, preserving the historical fail-first text).
     """
+
+    def __init__(self, message: str = "", diagnostics: "Sequence[Any]" = ()) -> None:
+        super().__init__(message)
+        self.diagnostics: tuple[Any, ...] = tuple(diagnostics)
 
 
 class RepairError(ReproError):
@@ -70,6 +80,20 @@ class KernelError(ReproError):
     comparison over a non-integer column).  The ``auto`` engine catches
     this internally and falls back to the interpreted detector.
     """
+
+
+class LintError(ReproError):
+    """The static constraint analyzer found gating diagnostics.
+
+    Raised by the preflight hook (``lint.preflight`` in the configuration,
+    or ``repair_database(..., preflight=True)``) when the
+    :class:`~repro.lint.diagnostics.LintReport` - attached as ``report`` -
+    contains diagnostics at or above the configured ``fail_on`` severity.
+    """
+
+    def __init__(self, message: str, report: Any = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class ConfigError(ReproError):

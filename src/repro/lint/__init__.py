@@ -1,0 +1,50 @@
+"""Static constraint analysis (``repro lint``).
+
+A linter over ``(schema, constraint set)`` - **no database instance** -
+that catches, at configuration time, everything the repair machinery
+would otherwise discover piecemeal and late:
+
+* **satisfiability** (:mod:`repro.lint.satisfiability`): dead denial
+  bodies, including the cross-atom forms (``x < y ∧ y < x``, offset
+  cycles) that :mod:`repro.constraints.simplify` used to miss, via a
+  difference-constraint graph with Bellman-Ford negative-cycle detection;
+* **redundancy** (:mod:`repro.lint.subsumption`): constraints whose
+  violations are always covered by another constraint's, so dropping them
+  shrinks the MWSC instance without changing any repair;
+* **locality** (:mod:`repro.lint.locality`): *all* failing Section-2
+  conditions (a)-(c) with the offending attribute, not just the first;
+* **approximation bounds** (:mod:`repro.lint.bounds`): a static upper
+  bound on the MWSC element frequency ``f``, i.e. the layer algorithm's
+  predicted ``f``-approximation factor;
+* **kernel compilability** (:mod:`repro.lint.compilability`): which
+  constraints the columnar engine can always execute and which may fall
+  back to the interpreted detector at runtime.
+
+Every finding is a structured :class:`~repro.lint.diagnostics.Diagnostic`
+with a stable ``LINTxxx`` code; :func:`lint_constraints` runs all passes
+and returns a :class:`~repro.lint.diagnostics.LintReport`.
+"""
+
+from repro.lint.analyzer import PASSES, lint_constraints, removable_constraints
+from repro.lint.bounds import predicted_max_frequency
+from repro.lint.compilability import KernelClassification, classify_constraint
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.reporters import render_json, render_text
+from repro.lint.satisfiability import body_is_satisfiable
+from repro.lint.subsumption import subsumes
+
+__all__ = [
+    "PASSES",
+    "Diagnostic",
+    "KernelClassification",
+    "LintReport",
+    "Severity",
+    "body_is_satisfiable",
+    "classify_constraint",
+    "lint_constraints",
+    "predicted_max_frequency",
+    "removable_constraints",
+    "render_json",
+    "render_text",
+    "subsumes",
+]

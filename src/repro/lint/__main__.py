@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` - the static constraint analyzer CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.system.cli import lint_main
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

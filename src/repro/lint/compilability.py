@@ -1,0 +1,71 @@
+"""Static kernel-compilability classification of denial constraints.
+
+``engine="auto"`` runs the columnar NumPy kernel and silently falls
+back to the interpreted detector when a constraint/data shape has no
+vectorized form (a :class:`~repro.exceptions.KernelError` at execution
+time).  The shapes are statically knowable:
+:func:`repro.violations.kernels.kernel_requirements` lists the
+``(atom, position)`` slots whose columns must be all-integer.  This
+pass resolves those slots against the schema:
+
+* a slot bound to a **flexible** attribute is discharged - flexible
+  attributes hold the paper's numerical (integer) domain by contract,
+  so the column is int64 whenever the input is well-formed;
+* a slot bound to a **hard** attribute may hold anything (identifiers,
+  strings), so compilability becomes *data-dependent*: the constraint
+  executes on the kernel only when that column happens to be
+  all-integer, and falls back to the interpreted engine otherwise
+  (``LINT050``).
+
+A constraint with no undischarged slots is *unconditionally*
+kernel-compilable: no data shape can force the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.denial import DenialConstraint
+from repro.model.schema import Schema
+from repro.violations.kernels import kernel_requirements
+
+KERNEL_CONDITIONAL = "LINT050"
+
+
+@dataclass(frozen=True)
+class KernelClassification:
+    """Static kernel-compilability verdict for one constraint.
+
+    ``required_slots`` are all integer-required ``(atom, position)``
+    slots of the compiled plan; ``conditional_attributes`` the hard
+    ``(relation, attribute)`` pairs among them that the schema cannot
+    guarantee to be integer.
+    """
+
+    constraint: str
+    required_slots: tuple[tuple[int, int], ...]
+    conditional_attributes: tuple[tuple[str, str], ...]
+
+    @property
+    def unconditional(self) -> bool:
+        """True when no data shape can force the interpreted fallback."""
+        return not self.conditional_attributes
+
+
+def classify_constraint(
+    constraint: DenialConstraint, schema: Schema
+) -> KernelClassification:
+    """Classify one (validated) constraint against a schema."""
+    required = sorted(kernel_requirements(constraint))
+    conditional: set[tuple[str, str]] = set()
+    for atom_index, position in required:
+        atom = constraint.relation_atoms[atom_index]
+        relation = schema.relation(atom.relation_name)
+        attribute = relation.attributes[position]
+        if not attribute.is_flexible:
+            conditional.add((relation.name, attribute.name))
+    return KernelClassification(
+        constraint=constraint.label,
+        required_slots=tuple(required),
+        conditional_attributes=tuple(sorted(conditional)),
+    )

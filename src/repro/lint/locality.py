@@ -1,0 +1,162 @@
+"""Locality diagnostics: all failing Section-2 conditions, collected.
+
+The raising API (:func:`repro.constraints.locality.check_local` /
+``check_local_set``) historically stopped at the first failing
+condition.  This pass produces the *complete* picture as structured
+diagnostics - every condition (a) attribute, every condition (b)
+constraint, every condition (c) direction clash - and the raising API
+became a thin wrapper over it (the first diagnostic's message is the
+exception message, so existing error-matching callers are unaffected).
+
+Codes: ``LINT030`` condition (a), ``LINT031`` condition (b),
+``LINT032`` condition (c); all errors, because the attribute-update
+repair algorithms refuse non-local input.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.locality import (
+    _equality_variables,
+    comparison_directions,
+)
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.model.schema import Schema
+
+CONDITION_A = "LINT030"
+CONDITION_B = "LINT031"
+CONDITION_C = "LINT032"
+
+
+def constraint_locality_diagnostics(
+    constraint: DenialConstraint, schema: Schema
+) -> tuple[Diagnostic, ...]:
+    """All condition (a) and (b) failures of one (validated) constraint.
+
+    Condition (a) yields one diagnostic per offending
+    ``(variable, relation, attribute)`` binding, in sorted order;
+    condition (b) yields at most one diagnostic per constraint.
+    """
+    diagnostics: list[Diagnostic] = []
+
+    # (a) equality atoms, joins and variable comparisons bind only hard
+    # attributes.
+    restricted = _equality_variables(constraint) | set(
+        constraint.join_variables
+    )
+    seen: set[tuple[str, str, str]] = set()
+    for variable in sorted(restricted):
+        for relation_name, attribute_name in constraint.bound_attributes(
+            variable, schema
+        ):
+            attribute = schema.relation(relation_name).attribute(attribute_name)
+            if not attribute.is_flexible:
+                continue
+            key = (variable, relation_name, attribute_name)
+            if key in seen:
+                continue
+            seen.add(key)
+            diagnostics.append(
+                Diagnostic(
+                    code=CONDITION_A,
+                    severity=Severity.ERROR,
+                    constraint=constraint.label,
+                    message=(
+                        f"{constraint.label}: condition (a) fails - flexible "
+                        f"attribute {relation_name}.{attribute_name} "
+                        "participates in an equality atom, join, or variable "
+                        "comparison"
+                    ),
+                    details={
+                        "condition": "a",
+                        "relation": relation_name,
+                        "attribute": attribute_name,
+                        "variable": variable,
+                    },
+                    suggestion=(
+                        f"mark {relation_name}.{attribute_name} as hard, or "
+                        "rewrite the constraint so no equality/join/variable "
+                        "comparison touches it"
+                    ),
+                )
+            )
+
+    # (b) at least one flexible attribute among the built-in attributes.
+    flexible_in_builtins = [
+        (relation_name, attribute_name)
+        for relation_name, attribute_name in constraint.attributes_in_builtins(
+            schema
+        )
+        if schema.relation(relation_name).attribute(attribute_name).is_flexible
+    ]
+    if not flexible_in_builtins:
+        diagnostics.append(
+            Diagnostic(
+                code=CONDITION_B,
+                severity=Severity.ERROR,
+                constraint=constraint.label,
+                message=(
+                    f"{constraint.label}: condition (b) fails - no flexible "
+                    "attribute occurs in the built-in atoms, so the "
+                    "constraint cannot be repaired by attribute updates"
+                ),
+                details={"condition": "b"},
+                suggestion=(
+                    "add a comparison over a flexible attribute, mark one of "
+                    "the compared attributes as flexible, or repair with the "
+                    "tuple-deletion semantics instead"
+                ),
+            )
+        )
+    return tuple(diagnostics)
+
+
+def locality_diagnostics(
+    constraints: Sequence[DenialConstraint],
+    schema: Schema,
+    *,
+    condition_c: bool = True,
+) -> tuple[Diagnostic, ...]:
+    """All locality failures of a (validated) constraint set.
+
+    Per-constraint conditions (a)/(b) come first, in constraint order,
+    then the set-level condition (c) clashes in sorted attribute order.
+    The first diagnostic's message always matches what the historical
+    fail-first check would have raised.
+    """
+    constraints = list(constraints)
+    diagnostics: list[Diagnostic] = []
+    for constraint in constraints:
+        diagnostics.extend(constraint_locality_diagnostics(constraint, schema))
+
+    if condition_c:
+        directions = comparison_directions(constraints, schema)
+        for (relation_name, attribute_name) in sorted(directions):
+            found = directions[(relation_name, attribute_name)]
+            if len(found) <= 1:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    code=CONDITION_C,
+                    severity=Severity.ERROR,
+                    message=(
+                        "condition (c) fails - flexible attribute "
+                        f"{relation_name}.{attribute_name} appears in both "
+                        "'<' and '>' comparisons across the constraint set"
+                    ),
+                    details={
+                        "condition": "c",
+                        "relation": relation_name,
+                        "attribute": attribute_name,
+                        "directions": sorted(d.value for d in found),
+                    },
+                    suggestion=(
+                        "split the constraint set so each flexible attribute "
+                        "is bounded from one side only, or mark "
+                        f"{relation_name}.{attribute_name} as hard"
+                    ),
+                )
+            )
+    return tuple(diagnostics)

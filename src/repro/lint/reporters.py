@@ -1,0 +1,30 @@
+"""Text and JSON rendering of lint reports."""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one ``severity CODE message`` line each.
+
+    Ends with a summary line; a clean report renders as just
+    ``no diagnostics``.
+    """
+    if not report.diagnostics:
+        return "no diagnostics"
+    lines = [
+        f"{diagnostic.severity.value:<7} {diagnostic.code}  "
+        f"{diagnostic.message}"
+        for diagnostic in report
+    ]
+    lines.append(
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{len(report.infos)} info(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, indent: int | None = 2) -> str:
+    """The report as a JSON document (round-trips through ``json.loads``)."""
+    return report.to_json(indent=indent)

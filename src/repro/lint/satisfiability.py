@@ -1,0 +1,210 @@
+"""Denial-body satisfiability over ℤ via difference-constraint graphs.
+
+A linear denial's body is a conjunction of atoms ``x θ c`` and
+``x θ y + c`` over integer-valued attributes (footnote 2 of the paper
+normalizes ``≤``/``≥`` into strict comparisons over ℤ; the repair
+machinery applies the same convention everywhere).  Each conjunct of the
+forms ``=``, ``<``, ``>``, ``≤``, ``≥`` translates into difference
+constraints ``u - v ≤ w``:
+
+* ``x < c``  →  ``x - 0 ≤ c - 1``     (a *zero* node models constants)
+* ``x > c``  →  ``0 - x ≤ -c - 1``
+* ``x < y + c``  →  ``x - y ≤ c - 1``
+* ``x = y + c``  →  ``x - y ≤ c`` and ``y - x ≤ -c``
+
+and so on.  A system of difference constraints is satisfiable iff its
+constraint graph has no negative cycle (Bellman-Ford with a virtual
+source); with integer weights the ℤ- and ℝ-relaxations coincide, so the
+test is **exact** for ``≠``-free bodies.  Each ``≠`` conjunct is a
+two-way disjunction (``x ≤ y + c - 1`` or ``x ≥ y + c + 1``); the solver
+enumerates branch combinations up to :data:`MAX_DISJUNCTIONS` and beyond
+that cap *drops* the extra ``≠`` conjuncts - relaxing the system, so an
+"unsatisfiable" verdict stays sound (dead really means dead) while a
+"satisfiable" verdict becomes an over-approximation.
+
+This is the pass that catches the cross-atom dead bodies invisible to
+the per-variable bound merging of :mod:`repro.constraints.simplify`,
+e.g. ``x < y ∧ y < x`` or the offset cycle ``x < y + 1 ∧ y < x - 1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.atoms import BuiltinAtom, Comparator, VariableComparison
+from repro.constraints.denial import DenialConstraint
+
+#: Branch-enumeration cap: bodies with more ``≠`` conjuncts than this have
+#: the excess ignored (sound for deadness claims, see module docstring).
+MAX_DISJUNCTIONS = 8
+
+#: Reserved graph node standing for the constant 0.  Contains a NUL byte,
+#: which the constraint grammar forbids in variable names, so it can never
+#: collide with a real variable.
+_ZERO = "\x000"
+
+_NEGATION = {
+    Comparator.EQ: Comparator.NE,
+    Comparator.NE: Comparator.EQ,
+    Comparator.LT: Comparator.GE,
+    Comparator.GE: Comparator.LT,
+    Comparator.GT: Comparator.LE,
+    Comparator.LE: Comparator.GT,
+}
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One difference constraint ``head - tail ≤ weight``."""
+
+    tail: str
+    head: str
+    weight: int
+
+
+def _upper_edge(head: str, tail: str, bound: int) -> _Edge:
+    """The constraint ``head - tail ≤ bound`` as a graph edge."""
+    return _Edge(tail=tail, head=head, weight=bound)
+
+
+def _builtin_edges(
+    builtin: BuiltinAtom,
+) -> tuple[tuple[_Edge, ...], tuple[_Edge, _Edge] | None]:
+    """Translate ``x θ c``; returns ``(conjunct_edges, disjunction)``."""
+    x, c = builtin.variable, builtin.constant
+    comparator = builtin.comparator
+    if comparator is Comparator.LT:
+        return (_upper_edge(x, _ZERO, c - 1),), None
+    if comparator is Comparator.LE:
+        return (_upper_edge(x, _ZERO, c),), None
+    if comparator is Comparator.GT:
+        return (_upper_edge(_ZERO, x, -c - 1),), None
+    if comparator is Comparator.GE:
+        return (_upper_edge(_ZERO, x, -c),), None
+    if comparator is Comparator.EQ:
+        return (_upper_edge(x, _ZERO, c), _upper_edge(_ZERO, x, -c)), None
+    # ≠: x ≤ c - 1  or  x ≥ c + 1.
+    return (), (_upper_edge(x, _ZERO, c - 1), _upper_edge(_ZERO, x, -c - 1))
+
+
+def _comparison_edges(
+    comparison: VariableComparison,
+) -> tuple[tuple[_Edge, ...], tuple[_Edge, _Edge] | None]:
+    """Translate ``x θ y + c``; returns ``(conjunct_edges, disjunction)``."""
+    x, y, c = comparison.left, comparison.right, comparison.offset
+    comparator = comparison.comparator
+    if comparator is Comparator.LT:
+        return (_upper_edge(x, y, c - 1),), None
+    if comparator is Comparator.LE:
+        return (_upper_edge(x, y, c),), None
+    if comparator is Comparator.GT:
+        return (_upper_edge(y, x, -c - 1),), None
+    if comparator is Comparator.GE:
+        return (_upper_edge(y, x, -c),), None
+    if comparator is Comparator.EQ:
+        return (_upper_edge(x, y, c), _upper_edge(y, x, -c)), None
+    # ≠: x ≤ y + c - 1  or  x ≥ y + c + 1.
+    return (), (_upper_edge(x, y, c - 1), _upper_edge(y, x, -c - 1))
+
+
+def _has_negative_cycle(edges: Sequence[_Edge]) -> bool:
+    """Bellman-Ford negative-cycle detection from a virtual source.
+
+    Initializing every distance to 0 is equivalent to a virtual source
+    with zero-weight edges to all nodes, so any negative cycle (in any
+    component) is detected.
+    """
+    nodes: list[str] = sorted({e.tail for e in edges} | {e.head for e in edges})
+    distance: dict[str, int] = {node: 0 for node in nodes}
+    for iteration in range(len(nodes) + 1):
+        changed = False
+        for edge in edges:
+            candidate = distance[edge.tail] + edge.weight
+            if candidate < distance[edge.head]:
+                distance[edge.head] = candidate
+                changed = True
+        if not changed:
+            return False
+        if iteration == len(nodes):
+            return True
+    return False
+
+
+def _satisfiable(
+    builtins: Iterable[BuiltinAtom],
+    comparisons: Iterable[VariableComparison],
+) -> bool:
+    """Satisfiability over ℤ of a conjunction of built-in atoms."""
+    must: list[_Edge] = []
+    disjunctions: list[tuple[_Edge, _Edge]] = []
+    for builtin in builtins:
+        edges, disjunction = _builtin_edges(builtin)
+        must.extend(edges)
+        if disjunction is not None:
+            disjunctions.append(disjunction)
+    for comparison in comparisons:
+        edges, disjunction = _comparison_edges(comparison)
+        must.extend(edges)
+        if disjunction is not None:
+            disjunctions.append(disjunction)
+    # Beyond the cap, drop the excess ≠ conjuncts: relaxation keeps
+    # "unsatisfiable" sound and errs towards "satisfiable".
+    disjunctions = disjunctions[:MAX_DISJUNCTIONS]
+    for branches in itertools.product(*disjunctions):
+        if not _has_negative_cycle(must + list(branches)):
+            return True
+    return False
+
+
+def body_is_satisfiable(constraint: DenialConstraint) -> bool:
+    """True when some integer assignment satisfies the denial's body.
+
+    A ``False`` verdict means the constraint is *dead*: no tuples can
+    ever witness a violation, so it can be dropped without changing any
+    violation set.  Exact for bodies with at most
+    :data:`MAX_DISJUNCTIONS` ``≠`` conjuncts, over-approximating
+    (``True``-biased) beyond.
+    """
+    return _satisfiable(constraint.builtins, constraint.variable_comparisons)
+
+
+def body_implies_builtin(
+    constraint: DenialConstraint, builtin: BuiltinAtom
+) -> bool:
+    """True when the body entails ``builtin`` over ℤ.
+
+    Checked as unsatisfiability of ``body ∧ ¬builtin``; the negation of
+    ``=`` introduces a disjunction, handled like any other ``≠``.
+    Conservative under the disjunction cap (may answer ``False`` for an
+    entailed atom, never ``True`` for a non-entailed one).
+    """
+    negated = BuiltinAtom(
+        builtin.variable, _NEGATION[builtin.comparator], builtin.constant
+    )
+    return not _satisfiable(
+        tuple(constraint.builtins) + (negated,),
+        constraint.variable_comparisons,
+    )
+
+
+def body_implies_comparison(
+    constraint: DenialConstraint, comparison: VariableComparison
+) -> bool:
+    """True when the body entails ``comparison`` over ℤ.
+
+    Same construction as :func:`body_implies_builtin`; also correct for
+    degenerate self-comparisons ``x θ x + c`` (they become self-loop
+    edges, and a negative self-loop is a negative cycle).
+    """
+    negated = VariableComparison(
+        comparison.left,
+        _NEGATION[comparison.comparator],
+        comparison.right,
+        comparison.offset,
+    )
+    return not _satisfiable(
+        constraint.builtins,
+        tuple(constraint.variable_comparisons) + (negated,),
+    )

@@ -1,0 +1,167 @@
+"""Redundancy between denial constraints (subsumption analysis).
+
+Constraint ``B`` *subsumes* constraint ``A`` when every violation
+witness of ``A`` contains a violation witness of ``B``.  Then ``A`` is
+redundant: any repair eliminating ``B``'s violations also eliminates
+``A``'s, so dropping ``A`` leaves every violation set coverable and the
+MWSC instance (Definition 3.1) shrinks.
+
+The syntactic test: a relation-name-preserving mapping ``σ`` from
+``B``'s database atoms onto ``A``'s that induces a *consistent* variable
+substitution ``θ`` (each ``B``-variable maps to exactly one
+``A``-variable, so ``B``'s joins are preserved), such that every
+built-in of ``B`` under ``θ`` is entailed by ``A``'s body (checked with
+the difference-constraint machinery of
+:mod:`repro.lint.satisfiability`).  Whenever the test succeeds, any
+assignment witnessing ``A`` restricts through ``σ`` to an assignment
+witnessing ``B`` over a subset of the same tuples.  The test is
+conservative: ``σ`` may be non-injective, but a ``B``-variable needing
+two distinct ``A``-variables fails the mapping even when ``A``'s body
+forces them equal.
+
+:func:`subsumption_analysis` applies the pairwise test to a whole set
+with a keep-first policy whose removals are always *jointly* safe:
+every removed constraint is subsumed - directly or through a chain of
+removed ones (subsumption is transitive) - by a constraint that stays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.constraints.atoms import BuiltinAtom, VariableComparison
+from repro.constraints.denial import DenialConstraint
+from repro.lint.satisfiability import (
+    body_implies_builtin,
+    body_implies_comparison,
+)
+
+
+def _substitutions(
+    subsumer: DenialConstraint, target: DenialConstraint
+) -> Iterator[Mapping[str, str]]:
+    """Consistent variable substitutions induced by atom mappings.
+
+    Yields every ``θ : vars(subsumer) → vars(target)`` arising from a
+    relation-name-preserving assignment of subsumer atoms to target
+    atoms.  Position-wise conflicts (one subsumer variable needing two
+    target variables) drop the candidate mapping.
+    """
+    candidate_atoms: list[list[int]] = []
+    for atom in subsumer.relation_atoms:
+        matches = [
+            index
+            for index, target_atom in enumerate(target.relation_atoms)
+            if target_atom.relation_name == atom.relation_name
+        ]
+        if not matches:
+            return
+        candidate_atoms.append(matches)
+    for assignment in itertools.product(*candidate_atoms):
+        theta: dict[str, str] = {}
+        consistent = True
+        for atom, target_index in zip(subsumer.relation_atoms, assignment):
+            target_atom = target.relation_atoms[target_index]
+            for variable, target_variable in zip(
+                atom.variables, target_atom.variables
+            ):
+                bound = theta.setdefault(variable, target_variable)
+                if bound != target_variable:
+                    consistent = False
+                    break
+            if not consistent:
+                break
+        if consistent:
+            yield theta
+
+
+def subsumes(subsumer: DenialConstraint, target: DenialConstraint) -> bool:
+    """True when every ``target`` violation contains a ``subsumer`` one.
+
+    Conservative (see module docstring): a ``True`` answer is always
+    semantically valid; ``False`` may miss deeper equivalences.
+    """
+    for theta in _substitutions(subsumer, target):
+        builtins_entailed = all(
+            body_implies_builtin(
+                target,
+                BuiltinAtom(theta[b.variable], b.comparator, b.constant),
+            )
+            for b in subsumer.builtins
+        )
+        if not builtins_entailed:
+            continue
+        comparisons_entailed = all(
+            body_implies_comparison(
+                target,
+                VariableComparison(
+                    theta[c.left], c.comparator, theta[c.right], c.offset
+                ),
+            )
+            for c in subsumer.variable_comparisons
+        )
+        if comparisons_entailed:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class SubsumptionResult:
+    """Index-level outcome of :func:`subsumption_analysis`.
+
+    ``duplicates`` maps a constraint index to the index of the earlier,
+    syntactically equal constraint that is kept; ``subsumed`` maps a
+    removable constraint index to the index of a *kept* subsumer (or of
+    a removed one whose own chain ends at a kept subsumer).
+    """
+
+    duplicates: tuple[tuple[int, int], ...]
+    subsumed: tuple[tuple[int, int], ...]
+
+    @property
+    def removable(self) -> frozenset[int]:
+        """Indices that can be dropped without changing violation sets."""
+        return frozenset(index for index, _ in self.duplicates) | frozenset(
+            index for index, _ in self.subsumed
+        )
+
+
+def subsumption_analysis(
+    constraints: Sequence[DenialConstraint],
+) -> SubsumptionResult:
+    """Classify a constraint set into kept / duplicate / subsumed.
+
+    Keep-first policy: of two syntactic duplicates the earlier wins
+    (mirroring :func:`repro.constraints.simplify.simplify_constraints`);
+    of two mutually subsuming constraints the earlier wins; a strictly
+    more general constraint arriving later takes over the kept slot of
+    the constraints it subsumes.
+    """
+    kept: list[int] = []
+    duplicates: list[tuple[int, int]] = []
+    subsumed: list[tuple[int, int]] = []
+    for index, constraint in enumerate(constraints):
+        duplicate_of = next(
+            (j for j in kept if constraints[j] == constraint), None
+        )
+        if duplicate_of is not None:
+            duplicates.append((index, duplicate_of))
+            continue
+        subsumer = next(
+            (j for j in kept if subsumes(constraints[j], constraint)), None
+        )
+        if subsumer is not None:
+            subsumed.append((index, subsumer))
+            continue
+        kept.append(index)
+        # A more general newcomer may subsume previously kept
+        # constraints; transitivity keeps earlier removals rooted here.
+        for j in kept[:-1]:
+            if subsumes(constraint, constraints[j]):
+                kept.remove(j)
+                subsumed.append((j, index))
+    return SubsumptionResult(
+        duplicates=tuple(duplicates), subsumed=tuple(sorted(subsumed))
+    )

@@ -45,6 +45,7 @@ def repair_database(
     parallel: "bool | str | ExecutionPolicy | None" = None,
     max_workers: int | None = None,
     engine: str = "auto",
+    preflight: bool = False,
 ) -> RepairResult:
     """Compute an (approximate) attribute-update repair of ``instance``.
 
@@ -90,6 +91,10 @@ def repair_database(
         ``kernel``, or ``interpreted``.  Both engines yield
         byte-identical violations, hence identical repairs; the choice
         also applies to post-repair verification.
+    preflight:
+        Run the static constraint analyzer (:mod:`repro.lint`) first and
+        raise :class:`~repro.exceptions.LintError` - with the full
+        report attached - when it finds error-severity diagnostics.
 
     Returns
     -------
@@ -100,6 +105,17 @@ def repair_database(
         records the runtime backend and per-stage worker counts.
     """
     constraints = tuple(constraints)
+    if preflight:
+        from repro.exceptions import LintError
+        from repro.lint.analyzer import lint_constraints
+
+        report = lint_constraints(instance.schema, constraints)
+        if report.gated("error"):
+            raise LintError(
+                f"constraint lint preflight failed: "
+                f"{len(report.errors)} error(s)",
+                report=report,
+            )
     if simplify:
         if violations is not None:
             raise RepairError(

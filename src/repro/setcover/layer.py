@@ -97,7 +97,7 @@ def layer_cover(instance: SetCoverInstance) -> Cover:
         weight=total_weight,
         algorithm="layer",
         iterations=iterations,
-        stats={},
+        stats={"frequency": float(instance.max_frequency)},
     )
 
 
@@ -189,5 +189,5 @@ def modified_layer_cover(instance: SetCoverInstance) -> Cover:
         weight=total_weight,
         algorithm="modified-layer",
         iterations=iterations,
-        stats={"phi": phi},
+        stats={"phi": phi, "frequency": float(instance.max_frequency)},
     )

@@ -1,17 +1,24 @@
-"""Command-line entry point: ``repro-repair <config.json>``.
+"""Command-line entry points: ``repro-repair`` and ``repro lint``.
 
-Runs the Figure-1 pipeline from a configuration file and prints the repair
-summary.  ``--dry-run`` skips the export step; ``--algorithm`` and
-``--metric`` override the configured choices; ``--changes`` also prints
-each cell update.
+``repro-repair <config.json>`` runs the Figure-1 pipeline from a
+configuration file and prints the repair summary.  ``--dry-run`` skips the
+export step; ``--algorithm`` and ``--metric`` override the configured
+choices; ``--changes`` also prints each cell update.
+
+``repro lint`` runs the static constraint analyzer (:mod:`repro.lint`)
+over the ``(schema, constraints)`` of one or more configuration files
+and/or bundled workloads - no database instance is loaded.  Exit code 0
+means no diagnostics at or above ``--fail-on``; 1 means the gate fired;
+2 means a usage or configuration error.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.exceptions import ReproError
 from repro.system.config import RepairConfig
@@ -123,6 +130,170 @@ def main(argv: Sequence[str] | None = None) -> int:
             for tup in report.deletion.deleted:
                 print(f"  deleted {tup!r}")
     return 0
+
+
+def _lint_workload_sources() -> dict[str, Callable[[], tuple]]:
+    """Bundled workloads as lazy ``(schema, constraints)`` factories.
+
+    Only static schema builders and constraint text are used - no
+    :class:`~repro.model.instance.DatabaseInstance` is ever constructed.
+    """
+    from repro.constraints.parser import parse_denials
+    from repro.workloads.census import CENSUS_CONSTRAINTS, census_schema
+    from repro.workloads.clientbuy import (
+        CLIENT_BUY_CONSTRAINTS,
+        client_buy_schema,
+    )
+    from repro.workloads.finance import FINANCE_CONSTRAINTS, finance_schema
+    from repro.workloads.paperdemo import (
+        PAPER_CONSTRAINTS,
+        PUB_CONSTRAINT,
+        paper_pub_schema,
+    )
+
+    return {
+        "clientbuy": lambda: (
+            client_buy_schema(),
+            parse_denials(CLIENT_BUY_CONSTRAINTS),
+        ),
+        "finance": lambda: (
+            finance_schema(),
+            parse_denials(FINANCE_CONSTRAINTS),
+        ),
+        "census": lambda: (
+            census_schema(),
+            parse_denials(CENSUS_CONSTRAINTS),
+        ),
+        "paperdemo": lambda: (
+            paper_pub_schema(),
+            parse_denials(PAPER_CONSTRAINTS + PUB_CONSTRAINT),
+        ),
+    }
+
+
+LINT_WORKLOADS = ("clientbuy", "finance", "census", "paperdemo")
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argparse parser (exposed for tests and docs)."""
+    from repro.lint.analyzer import PASSES
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static analysis of denial-constraint sets: satisfiability, "
+            "redundancy, locality, approximation-bound prediction, and "
+            "kernel compilability - without loading any data."
+        ),
+    )
+    parser.add_argument(
+        "configs",
+        nargs="*",
+        metavar="CONFIG",
+        help="JSON configuration files whose (schema, constraints) to lint",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=LINT_WORKLOADS,
+        default=None,
+        help="also lint a bundled workload's constraint set (repeatable)",
+    )
+    parser.add_argument(
+        "--pass",
+        action="append",
+        dest="passes",
+        choices=PASSES,
+        default=None,
+        help="run only the named pass (repeatable; default: all passes)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info", "never"],
+        default="error",
+        help="minimum severity that makes the exit code 1 (default: error)",
+    )
+    return parser
+
+
+def lint_main(argv: Sequence[str] | None = None) -> int:
+    """``repro lint`` entry point; returns the process exit code.
+
+    0 = no gated diagnostics, 1 = diagnostics at or above ``--fail-on``,
+    2 = usage or configuration error.
+    """
+    from repro.lint.analyzer import lint_constraints
+    from repro.lint.reporters import render_text
+
+    args = build_lint_parser().parse_args(argv)
+    workloads = args.workload or []
+    if not args.configs and not workloads:
+        print(
+            "error: nothing to lint - pass a config file or --workload",
+            file=sys.stderr,
+        )
+        return 2
+
+    sources: list[tuple[str, Callable[[], tuple]]] = []
+    factories = _lint_workload_sources()
+    for name in workloads:
+        sources.append((f"workload:{name}", factories[name]))
+    for path in args.configs:
+        def _from_config(path: str = path) -> tuple:
+            config = RepairConfig.from_file(path)
+            return config.schema, config.constraints
+
+        sources.append((path, _from_config))
+
+    gate_fired = False
+    json_documents = []
+    for source_name, factory in sources:
+        try:
+            schema, constraints = factory()
+            report = lint_constraints(schema, constraints, passes=args.passes)
+        except ReproError as error:
+            print(f"error: {source_name}: {error}", file=sys.stderr)
+            return 2
+        if report.gated(args.fail_on):
+            gate_fired = True
+        if args.format == "json":
+            json_documents.append({"source": source_name, **report.to_dict()})
+        else:
+            print(f"== {source_name} ==")
+            print(render_text(report))
+    if args.format == "json":
+        print(json.dumps(json_documents, indent=2))
+    return 1 if gate_fired else 0
+
+
+def repro_main(argv: Sequence[str] | None = None) -> int:
+    """``repro <subcommand>`` dispatcher (``repair`` or ``lint``)."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments or arguments[0] in ("-h", "--help"):
+        print(
+            "usage: repro {repair,lint} ...\n\n"
+            "subcommands:\n"
+            "  repair  run the Figure-1 repair pipeline (see repro-repair)\n"
+            "  lint    statically analyze a constraint set",
+            file=sys.stderr if arguments == [] else sys.stdout,
+        )
+        return 2 if not arguments else 0
+    subcommand, rest = arguments[0], arguments[1:]
+    if subcommand == "repair":
+        return main(rest)
+    if subcommand == "lint":
+        return lint_main(rest)
+    print(
+        f"error: unknown subcommand {subcommand!r}; choose 'repair' or 'lint'",
+        file=sys.stderr,
+    )
+    return 2
 
 
 if __name__ == "__main__":

@@ -38,6 +38,13 @@ the parallel-execution backend (``serial`` / ``thread`` / ``process`` /
 in-memory violation-detection ``engine`` (``auto`` / ``kernel`` /
 ``interpreted``, see :mod:`repro.violations.kernels`); it defaults to the
 serial pipeline with the ``auto`` engine.
+
+The optional ``lint`` block (``{"preflight": true, "fail_on": "error"}``)
+makes the pipeline run the static constraint analyzer
+(:mod:`repro.lint`) before loading any data and abort with a
+:class:`~repro.exceptions.LintError` when the report contains
+diagnostics at or above the ``fail_on`` severity (``error`` / ``warning``
+/ ``info``; ``never`` reports without gating).
 """
 
 from __future__ import annotations
@@ -61,6 +68,8 @@ _VALID_DETECTION = ("memory", "sql")
 
 
 _VALID_SEMANTICS = ("update", "delete", "mixed")
+
+_VALID_LINT_GATES = ("error", "warning", "info", "never")
 
 
 @dataclass(frozen=True)
@@ -90,6 +99,8 @@ class RepairConfig:
     runtime_backend: str = "serial"
     runtime_workers: int | None = None
     detection_engine: str = "auto"
+    lint_preflight: bool = False
+    lint_fail_on: str = "error"
 
     @property
     def execution_policy(self) -> ExecutionPolicy:
@@ -202,6 +213,21 @@ class RepairConfig:
                 f"got {detection_engine!r}"
             )
 
+        lint = data.get("lint", {})
+        if not isinstance(lint, Mapping):
+            raise ConfigError("lint must be an object")
+        lint_preflight = lint.get("preflight", False)
+        if not isinstance(lint_preflight, bool):
+            raise ConfigError(
+                f"lint.preflight must be a boolean, got {lint_preflight!r}"
+            )
+        lint_fail_on = lint.get("fail_on", "error")
+        if lint_fail_on not in _VALID_LINT_GATES:
+            raise ConfigError(
+                f"lint.fail_on must be one of {_VALID_LINT_GATES}, "
+                f"got {lint_fail_on!r}"
+            )
+
         export = data.get("export", {"mode": "update"})
         if not isinstance(export, Mapping):
             raise ConfigError("export must be an object")
@@ -227,6 +253,8 @@ class RepairConfig:
             runtime_backend=runtime_backend,
             runtime_workers=runtime_workers,
             detection_engine=detection_engine,
+            lint_preflight=lint_preflight,
+            lint_fail_on=lint_fail_on,
         )
 
 

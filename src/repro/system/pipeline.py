@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cardinality.engine import DeletionRepairResult, cardinality_repair
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, LintError
 from repro.model.instance import DatabaseInstance
 from repro.repair.engine import repair_database
 from repro.repair.result import RepairResult
@@ -79,8 +79,31 @@ class RepairProgram:
         """Database-connectivity step: pull the instance into memory."""
         return self.backend.load_instance(self.config.schema)
 
+    def preflight(self) -> None:
+        """Run the static constraint linter before touching any data.
+
+        Raises :class:`~repro.exceptions.LintError` (with the full
+        :class:`~repro.lint.diagnostics.LintReport` attached as
+        ``report``) when diagnostics at or above the configured
+        ``lint.fail_on`` severity exist.
+        """
+        from repro.lint.analyzer import lint_constraints
+
+        report = lint_constraints(self.config.schema, self.config.constraints)
+        if report.gated(self.config.lint_fail_on):
+            worst = report.max_severity
+            raise LintError(
+                f"constraint lint preflight failed: {len(report)} "
+                f"diagnostic(s), worst severity "
+                f"{worst.value if worst else 'none'} "
+                f"(gate: {self.config.lint_fail_on})",
+                report=report,
+            )
+
     def run(self, export: bool = True) -> ProgramReport:
         """Execute the full pipeline; ``export=False`` is a dry run."""
+        if self.config.lint_preflight:
+            self.preflight()
         instance = self.load()
         if self.config.repair_semantics in ("delete", "mixed"):
             return self._run_deletion(instance, export)

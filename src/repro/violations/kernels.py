@@ -74,6 +74,42 @@ def resolve_engine(engine: str) -> str:
     return engine
 
 
+def kernel_requirements(
+    constraint: DenialConstraint,
+) -> frozenset[tuple[int, int]]:
+    """``(atom_index, position)`` slots that must hold all-integer columns.
+
+    The static form of this module's :class:`KernelError` raise sites:
+    the compiled plan executes unconditionally on the kernel engine
+    exactly when every returned slot's column is all-integer at runtime.
+    Slots are required by
+
+    * **order local filters** (``x θ c`` with an order comparator) - the
+      vectorized mask needs a numeric column (``_candidate_rows``);
+    * **order variable comparisons and offset forms** (``x θ y + c``
+      with an order comparator or ``c ≠ 0``) - interval joins, offset
+      shifts and order residuals need int64 on both sides (``_shift``,
+      ``_interval_join``, ``_compare_arrays``); every slot of both
+      variables is required because the side gathered first depends on
+      the runtime join order.
+
+    Equality/``≠`` filters, intra-atom equalities and equality joins run
+    on object columns and impose nothing.  Used by
+    :mod:`repro.lint.compilability` to classify constraints statically.
+    """
+    plan = compile_plan(constraint)
+    required: set[tuple[int, int]] = set()
+    for atom_plan in plan.atoms:
+        for filt in atom_plan.filters:
+            if filt.comparator not in (Comparator.EQ, Comparator.NE):
+                required.add((atom_plan.atom_index, filt.position))
+    for comparison in plan.comparisons:
+        if comparison.is_order or comparison.offset != 0:
+            for variable in (comparison.left, comparison.right):
+                required.update(plan.var_slots[variable])
+    return frozenset(required)
+
+
 # ---------------------------------------------------------------------------
 # candidate masks
 

@@ -9,6 +9,7 @@ from repro.workloads.paperdemo import (
     deletion_example,
     paper_example,
     paper_pub_example,
+    paper_pub_schema,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "deletion_example",
     "paper_example",
     "paper_pub_example",
+    "paper_pub_schema",
 ]

@@ -59,9 +59,13 @@ def paper_example() -> Workload:
     )
 
 
-def paper_pub_example() -> Workload:
-    """Examples 2.5 / 3.3: Paper + Pub with the join constraint ic₃."""
-    schema = Schema(
+def paper_pub_schema() -> Schema:
+    """The Paper + Pub schema of Examples 2.5 / 3.3 (no data).
+
+    Static - usable by the constraint linter without ever building a
+    :class:`~repro.model.instance.DatabaseInstance`.
+    """
+    return Schema(
         [
             _paper_relation(),
             Relation(
@@ -75,6 +79,11 @@ def paper_pub_example() -> Workload:
             ),
         ]
     )
+
+
+def paper_pub_example() -> Workload:
+    """Examples 2.5 / 3.3: Paper + Pub with the join constraint ic₃."""
+    schema = paper_pub_schema()
     instance = DatabaseInstance.from_rows(
         schema,
         {

@@ -63,6 +63,39 @@ class TestSimplifyConstraint:
         assert simplified.relation_atoms == constraint.relation_atoms
 
 
+class TestCrossAtomDeadBodies:
+    """Regression: dead bodies built from variable comparisons used to be
+    invisible to the per-variable bound merging."""
+
+    def test_comparison_cycle_dropped(self):
+        constraint = parse_denial(
+            "NOT(R(k1, x, y), R(k2, x2, y2), k1 < k2, k2 < k1)"
+        )
+        assert simplify_constraint(constraint) is None
+
+    def test_offset_cycle_dropped(self):
+        # k1 < k2 + 1 ∧ k2 < k1 - 1 collapses to k1 < k1, dead over ℤ.
+        constraint = parse_denial(
+            "NOT(R(k1, x, y), R(k2, x2, y2), k1 < k2 + 1, k2 < k1 - 1)"
+        )
+        assert simplify_constraint(constraint) is None
+
+    def test_bound_comparison_interaction_dropped(self):
+        # k1 < 5 ∧ k2 > 8 ∧ k1 > k2 is jointly unsatisfiable.
+        constraint = parse_denial(
+            "NOT(R(k1, x, y), R(k2, x2, y2), k1 < 5, k2 > 8, k1 > k2)"
+        )
+        assert simplify_constraint(constraint) is None
+
+    def test_live_comparisons_kept(self):
+        constraint = parse_denial(
+            "NOT(R(k1, x, y), R(k2, x2, y2), k1 < k2, x > 3)"
+        )
+        simplified = simplify_constraint(constraint)
+        assert simplified is not None
+        assert simplified.variable_comparisons == constraint.variable_comparisons
+
+
 class TestSimplifySet:
     def test_duplicates_removed(self):
         constraints = [

@@ -1,0 +1,187 @@
+"""End-to-end analyzer: all passes, structured report, reporters, CLI."""
+
+import json
+
+import pytest
+
+from repro import Attribute, Relation, Schema, parse_denials
+from repro.lint import (
+    PASSES,
+    lint_constraints,
+    removable_constraints,
+    render_json,
+    render_text,
+)
+from repro.lint.diagnostics import LintReport, Severity
+from repro.workloads.clientbuy import client_buy_schema
+
+
+@pytest.fixture
+def schema():
+    return client_buy_schema()
+
+
+#: One constraint per diagnostic family: d1 has a cross-atom dead body,
+#: s1 is subsumed by s2, l1 breaks locality condition (a), k1 needs an
+#: order comparison over the hard Buy.id column.
+ACCEPTANCE_CONSTRAINTS = """
+d1: NOT(Client(x, a, c), Client(y, a2, c2), x < y, y < x)
+s2: NOT(Client(id, a, c), a < 18, c > 50)
+s1: NOT(Client(id, a, c), a < 10, c > 60)
+l1: NOT(Client(id, a, c), a = 70)
+k1: NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p > 30)
+"""
+
+
+class TestAcceptance:
+    def test_four_families_with_distinct_codes(self, schema):
+        """The acceptance scenario of the issue: a dead body, a subsumed
+        constraint, a locality violation, and a kernel-conditional
+        constraint are all reported in ONE run with distinct codes."""
+        constraints = parse_denials(ACCEPTANCE_CONSTRAINTS)
+        report = lint_constraints(schema, constraints)
+
+        codes_of = {}
+        for diagnostic in report:
+            codes_of.setdefault(diagnostic.constraint, set()).add(
+                diagnostic.code
+            )
+        assert "LINT010" in codes_of["d1"]
+        assert "LINT020" in codes_of["s1"]
+        assert "LINT030" in codes_of["l1"]
+        assert "LINT050" in codes_of["k1"]
+        # No fail-fast: all four families are present simultaneously.
+        assert {"LINT010", "LINT020", "LINT030", "LINT050"} <= {
+            d.code for d in report
+        }
+
+    def test_json_reporter_round_trips(self, schema):
+        constraints = parse_denials(ACCEPTANCE_CONSTRAINTS)
+        report = lint_constraints(schema, constraints)
+        document = json.loads(render_json(report))
+        assert document["summary"]["errors"] >= 1
+        assert LintReport.from_dict(document) == report
+
+    def test_text_reporter(self, schema):
+        constraints = parse_denials(ACCEPTANCE_CONSTRAINTS)
+        text = render_text(lint_constraints(schema, constraints))
+        assert "LINT010" in text
+        assert "error(s)" in text
+        assert render_text(LintReport()) == "no diagnostics"
+
+    def test_runs_without_database_instance(self, schema, monkeypatch):
+        """The analyzer is purely static: constructing a DatabaseInstance
+        anywhere in the run is a bug."""
+        import repro.model.instance as instance_module
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("lint must not construct a DatabaseInstance")
+
+        monkeypatch.setattr(
+            instance_module.DatabaseInstance, "__init__", forbidden
+        )
+        constraints = parse_denials(ACCEPTANCE_CONSTRAINTS)
+        report = lint_constraints(schema, constraints)
+        assert len(report) > 0
+
+
+class TestPasses:
+    def test_invalid_constraint_gets_lint001_and_is_excluded(self, schema):
+        constraints = parse_denials(
+            """
+            bad: NOT(Nowhere(x), x < 3)
+            ok: NOT(Client(id, a, c), a < 18)
+            """
+        )
+        report = lint_constraints(schema, constraints)
+        assert [d.constraint for d in report.by_code("LINT001")] == ["bad"]
+        # The invalid constraint is excluded from later passes: no other
+        # diagnostics mention it.
+        assert all(
+            d.code == "LINT001" for d in report.for_constraint("bad")
+        )
+
+    def test_duplicates_get_lint021(self, schema):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 18, c > 50)
+            ic2: NOT(Client(id, a, c), a < 18, c > 50)
+            """
+        )
+        report = lint_constraints(schema, constraints)
+        (diagnostic,) = report.by_code("LINT021")
+        assert diagnostic.constraint == "ic2"
+        assert diagnostic.details["duplicate_of"] == "ic1"
+
+    def test_redundant_bounds_get_lint011(self, schema):
+        constraints = parse_denials(
+            "ic1: NOT(Client(id, a, c), a < 18, a < 30, c > 50)"
+        )
+        report = lint_constraints(schema, constraints)
+        (diagnostic,) = report.by_code("LINT011")
+        assert diagnostic.severity is Severity.INFO
+        assert diagnostic.details["count"] == 2
+
+    def test_unbounded_factor_gets_lint041(self):
+        schema = Schema(
+            [
+                Relation(
+                    "R",
+                    [Attribute.hard("k"), Attribute.hard("h"), Attribute.flexible("v")],
+                    key=["k"],
+                )
+            ]
+        )
+        constraints = parse_denials("ic1: NOT(R(k, h, v), h < 5)")
+        report = lint_constraints(schema, constraints)
+        (diagnostic,) = report.by_code("LINT041")
+        assert diagnostic.constraint == "ic1"
+        # ... and condition (b) fires for the same reason.
+        assert report.by_code("LINT031")
+
+    def test_lint040_is_set_level(self, schema):
+        constraints = parse_denials(
+            "ic1: NOT(Client(id, a, c), a < 18, c > 50)"
+        )
+        report = lint_constraints(schema, constraints)
+        (diagnostic,) = report.by_code("LINT040")
+        assert diagnostic.constraint == ""
+        assert diagnostic.details["predicted_frequency"] == 2
+        assert diagnostic.details["per_constraint"] == {"ic1": 2}
+
+    def test_pass_selection(self, schema):
+        constraints = parse_denials(ACCEPTANCE_CONSTRAINTS)
+        report = lint_constraints(
+            schema, constraints, passes=["satisfiability"]
+        )
+        codes = {d.code for d in report}
+        assert "LINT010" in codes
+        assert "LINT020" not in codes
+        assert "LINT030" not in codes
+
+    def test_unknown_pass_rejected(self, schema):
+        with pytest.raises(ValueError, match="unknown lint pass"):
+            lint_constraints(schema, (), passes=["spelling"])
+
+    def test_all_passes_are_selectable(self, schema):
+        constraints = parse_denials("ic1: NOT(Client(id, a, c), a < 18)")
+        for name in PASSES:
+            lint_constraints(schema, constraints, passes=[name])
+
+    def test_clean_set_is_clean(self, schema):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 18, c > 50)
+            ic2: NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)
+            """
+        )
+        report = lint_constraints(schema, constraints)
+        assert report.max_severity is Severity.INFO  # just LINT040
+        assert not report.gated("warning")
+
+
+class TestRemovable:
+    def test_removable_labels(self, schema):
+        constraints = parse_denials(ACCEPTANCE_CONSTRAINTS)
+        report = lint_constraints(schema, constraints)
+        assert removable_constraints(report) == ("d1", "s1")

@@ -1,0 +1,69 @@
+"""Static approximation-bound prediction (candidate-fix frequency)."""
+
+from repro import Attribute, Relation, Schema, parse_denials
+from repro.lint.bounds import builtin_attribute_overlap, predicted_max_frequency
+from repro.workloads.clientbuy import CLIENT_BUY_CONSTRAINTS, client_buy_schema
+from repro.workloads.paperdemo import (
+    PAPER_CONSTRAINTS,
+    PUB_CONSTRAINT,
+    paper_pub_schema,
+)
+
+
+class TestOverlap:
+    def test_client_buy_overlap(self):
+        constraints = parse_denials(CLIENT_BUY_CONSTRAINTS)
+        overlap = builtin_attribute_overlap(constraints, client_buy_schema())
+        # 'a' is bounded by both ics, 'c' by ic2 only, 'p' by ic1 only.
+        assert overlap[("Client", "a")] == 2
+        assert overlap[("Client", "c")] == 1
+        assert overlap[("Buy", "p")] == 1
+
+
+class TestPredictedFrequency:
+    def test_client_buy(self):
+        constraints = parse_denials(CLIENT_BUY_CONSTRAINTS)
+        predicted = predicted_max_frequency(constraints, client_buy_schema())
+        # ic1 touches Client.a (overlap 2) + Buy.p (1) = 3;
+        # ic2 touches Client.a (2) + Client.c (1) = 3.
+        assert predicted == {"ic1": 3, "ic2": 3}
+
+    def test_paper_pub_example(self):
+        constraints = parse_denials(PAPER_CONSTRAINTS + PUB_CONSTRAINT)
+        predicted = predicted_max_frequency(constraints, paper_pub_schema())
+        # Paper.ef: ic1+ic2 (2); Paper.prc: ic1+ic3 (2); Paper.cf: ic2
+        # (1); Pub.pag: ic3 (1).
+        # ic1 = ef(2) + prc(2) = 4; ic2 = ef(2) + cf(1) = 3;
+        # ic3 = prc(2) + pag(1) = 3.
+        assert predicted == {"ic1": 4, "ic2": 3, "ic3": 3}
+
+    def test_zero_bound_flags_no_candidate_fixes(self):
+        schema = Schema(
+            [
+                Relation(
+                    "R",
+                    [Attribute.hard("k"), Attribute.hard("h"), Attribute.flexible("v")],
+                    key=["k"],
+                )
+            ]
+        )
+        constraints = parse_denials(
+            """
+            ic1: NOT(R(k, h, v), h < 5)
+            ic2: NOT(R(k, h, v), v > 10)
+            """
+        )
+        predicted = predicted_max_frequency(constraints, schema)
+        # ic1's only bounded attribute is hard: no candidate fixes.
+        assert predicted == {"ic1": 0, "ic2": 1}
+
+    def test_bound_dominates_runtime_frequency(self):
+        """The static bound is an upper bound on the built instance's
+        max_frequency (the layer algorithm's approximation factor)."""
+        from repro.repair.engine import build_repair_problem
+        from repro.workloads.paperdemo import paper_pub_example
+
+        workload = paper_pub_example()
+        predicted = predicted_max_frequency(workload.constraints, workload.schema)
+        problem = build_repair_problem(workload.instance, workload.constraints)
+        assert problem.setcover.max_frequency <= max(predicted.values())

@@ -1,0 +1,117 @@
+"""Static kernel-compilability classification vs. actual kernel behavior."""
+
+import pytest
+
+from repro import DatabaseInstance, parse_denial, parse_denials
+from repro.exceptions import KernelError
+from repro.lint.compilability import classify_constraint
+from repro.violations.detector import find_violations
+from repro.violations.kernels import kernel_requirements
+from repro.workloads.clientbuy import client_buy_schema
+from repro.workloads.generator import random_detection_workload
+
+numpy = pytest.importorskip("numpy")
+
+SCHEMA = client_buy_schema()
+
+#: Hard columns of the Client/Buy schema, the ones whose values the
+#: schema cannot promise to be integers.
+HARD_COLUMNS = {"Client": (0,), "Buy": (0, 1)}
+
+
+def stringified(instance):
+    """A copy of ``instance`` with every hard column turned into strings."""
+    copy = DatabaseInstance(instance.schema)
+    for relation in instance.schema:
+        hard = HARD_COLUMNS[relation.name]
+        for tup in instance.tuples(relation.name):
+            row = tuple(
+                f"v{value}" if position in hard else value
+                for position, value in enumerate(tup.values)
+            )
+            copy.insert_row(relation.name, row)
+    return copy
+
+
+class TestClassification:
+    def test_constant_bounds_are_unconditional(self):
+        constraint = parse_denial("NOT(Client(id, a, c), a < 18, c > 50)")
+        classification = classify_constraint(constraint, SCHEMA)
+        assert classification.unconditional
+        # The order filters need integer columns, but both slots are
+        # flexible attributes, discharged by the schema contract.
+        assert classification.required_slots
+        assert classification.conditional_attributes == ()
+
+    def test_order_join_on_hard_key_is_conditional(self):
+        constraint = parse_denial(
+            "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p > 30)"
+        )
+        classification = classify_constraint(constraint, SCHEMA)
+        assert not classification.unconditional
+        assert ("Buy", "id") in classification.conditional_attributes
+
+    def test_equality_join_on_hard_key_is_unconditional(self):
+        constraint = parse_denial(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        )
+        assert classify_constraint(constraint, SCHEMA).unconditional
+
+    def test_requirements_are_plan_slots(self):
+        constraint = parse_denial("NOT(Client(id, a, c), a < 18, c > 50)")
+        slots = kernel_requirements(constraint)
+        # atom 0, positions 1 (a) and 2 (c).
+        assert slots == frozenset({(0, 1), (0, 2)})
+
+
+class TestMatchesKernelBehavior:
+    """The static verdict agrees with what the kernel engine actually does."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fuzzed_constraints(self, seed):
+        workload = random_detection_workload(seed, n_clients=12, n_constraints=6)
+        strings = stringified(workload.instance)
+        for constraint in workload.constraints:
+            classification = classify_constraint(constraint, workload.schema)
+            if classification.unconditional:
+                # No data shape may force the fallback - not even one
+                # with strings in every hard column.
+                kernel = find_violations(strings, constraint, engine="kernel")
+                interpreted = find_violations(
+                    strings, constraint, engine="interpreted"
+                )
+                assert set(kernel) == set(interpreted)
+            else:
+                # Every conditional attribute now holds strings, so the
+                # kernel must refuse this constraint.
+                with pytest.raises(KernelError):
+                    find_violations(strings, constraint, engine="kernel")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_integer_data_always_compiles(self, seed):
+        # On all-integer instances even conditional constraints run on
+        # the kernel - that is what "data-dependent" means.
+        workload = random_detection_workload(seed, n_clients=12, n_constraints=6)
+        for constraint in workload.constraints:
+            kernel = find_violations(
+                workload.instance, constraint, engine="kernel"
+            )
+            interpreted = find_violations(
+                workload.instance, constraint, engine="interpreted"
+            )
+            assert set(kernel) == set(interpreted)
+
+
+class TestPaperWorkloadsUnconditional:
+    def test_bundled_constraint_sets(self):
+        from repro.workloads.census import CENSUS_CONSTRAINTS, census_schema
+        from repro.workloads.clientbuy import CLIENT_BUY_CONSTRAINTS
+        from repro.workloads.finance import FINANCE_CONSTRAINTS, finance_schema
+
+        for schema, text in (
+            (SCHEMA, CLIENT_BUY_CONSTRAINTS),
+            (finance_schema(), FINANCE_CONSTRAINTS),
+            (census_schema(), CENSUS_CONSTRAINTS),
+        ):
+            for constraint in parse_denials(text):
+                assert classify_constraint(constraint, schema).unconditional

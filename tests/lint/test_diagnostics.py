@@ -1,0 +1,97 @@
+"""Diagnostic / LintReport data model: views, gating, serialization."""
+
+import json
+
+import pytest
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+
+def _diag(code, severity, constraint="ic1", message="msg"):
+    return Diagnostic(
+        code=code, severity=severity, message=message, constraint=constraint
+    )
+
+
+class TestSeverity:
+    def test_rank_order(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_from_name_round_trip(self):
+        for member in Severity:
+            assert Severity.from_name(member.value) is member
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_name("fatal")
+
+
+class TestDiagnostic:
+    def test_to_dict_round_trip(self):
+        diagnostic = Diagnostic(
+            code="LINT020",
+            severity=Severity.WARNING,
+            message="ic2: subsumed by ic1",
+            constraint="ic2",
+            details={"subsumed_by": "ic1"},
+            suggestion="remove it",
+        )
+        assert Diagnostic.from_dict(diagnostic.to_dict()) == diagnostic
+
+    def test_defaults(self):
+        diagnostic = _diag("LINT040", Severity.INFO, constraint="")
+        assert diagnostic.constraint == ""
+        assert dict(diagnostic.details) == {}
+        assert diagnostic.suggestion == ""
+
+
+class TestLintReport:
+    def make_report(self):
+        return LintReport(
+            diagnostics=(
+                _diag("LINT030", Severity.ERROR),
+                _diag("LINT020", Severity.WARNING, constraint="ic2"),
+                _diag("LINT040", Severity.INFO, constraint=""),
+            )
+        )
+
+    def test_views(self):
+        report = self.make_report()
+        assert len(report) == 3
+        assert [d.code for d in report] == ["LINT030", "LINT020", "LINT040"]
+        assert [d.code for d in report.errors] == ["LINT030"]
+        assert [d.code for d in report.warnings] == ["LINT020"]
+        assert [d.code for d in report.infos] == ["LINT040"]
+        assert [d.code for d in report.by_code("LINT020")] == ["LINT020"]
+        assert [d.code for d in report.for_constraint("ic2")] == ["LINT020"]
+
+    def test_max_severity(self):
+        assert self.make_report().max_severity is Severity.ERROR
+        assert LintReport().max_severity is None
+        warn_only = LintReport(
+            diagnostics=(_diag("LINT020", Severity.WARNING),)
+        )
+        assert warn_only.max_severity is Severity.WARNING
+
+    def test_gating(self):
+        report = self.make_report()
+        assert report.gated("error")
+        assert report.gated("warning")
+        assert report.gated("info")
+        assert not report.gated("never")
+        warn_only = LintReport(
+            diagnostics=(_diag("LINT020", Severity.WARNING),)
+        )
+        assert not warn_only.gated("error")
+        assert warn_only.gated("warning")
+        assert not LintReport().gated("info")
+
+    def test_gating_rejects_unknown_gate(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            LintReport().gated("sometimes")
+
+    def test_json_round_trip(self):
+        report = self.make_report()
+        data = json.loads(report.to_json(indent=2))
+        assert data["summary"] == {"errors": 1, "warnings": 1, "infos": 1}
+        assert LintReport.from_json(report.to_json()) == report

@@ -1,0 +1,128 @@
+"""The locality lint pass: all failing conditions, collected at once."""
+
+import pytest
+
+from repro import Attribute, LocalityError, Relation, Schema, parse_denial, parse_denials
+from repro.constraints.locality import check_local, check_local_set
+from repro.lint.locality import (
+    CONDITION_A,
+    CONDITION_B,
+    CONDITION_C,
+    constraint_locality_diagnostics,
+    locality_diagnostics,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Relation(
+                "Client",
+                [Attribute.hard("id"), Attribute.flexible("a"), Attribute.flexible("c")],
+                key=["id"],
+            ),
+            Relation(
+                "Buy",
+                [Attribute.hard("id"), Attribute.hard("i"), Attribute.flexible("p")],
+                key=["id", "i"],
+            ),
+        ]
+    )
+
+
+class TestConstraintDiagnostics:
+    def test_clean_constraint(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a < 18, c > 50)")
+        assert constraint_locality_diagnostics(constraint, schema) == ()
+
+    def test_collects_a_and_b_together(self, schema):
+        # 'a = 17' violates (a) and, id being the only other built-in
+        # variable, there is no flexible built-in attribute: (b) fails too.
+        constraint = parse_denial("NOT(Client(x, a, c), a = 17, x = 3)")
+        codes = [
+            d.code for d in constraint_locality_diagnostics(constraint, schema)
+        ]
+        # 'a = 17' is both an (a) failure and a flexible built-in, so (b)
+        # actually holds here; check the pure double-failure case below.
+        assert CONDITION_A in codes
+
+    def test_double_failure_both_reported(self, schema):
+        # Join on flexible attributes (condition a) and no flexible
+        # built-in at all (condition b).
+        constraint = parse_denial("NOT(Buy(id, i, x), Client(id2, x, c), id = 3)")
+        diagnostics = constraint_locality_diagnostics(constraint, schema)
+        codes = [d.code for d in diagnostics]
+        assert CONDITION_A in codes
+        assert CONDITION_B in codes
+
+    def test_condition_a_details(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a = 17, c > 50)")
+        (diagnostic,) = constraint_locality_diagnostics(constraint, schema)
+        assert diagnostic.code == CONDITION_A
+        assert diagnostic.details["relation"] == "Client"
+        assert diagnostic.details["attribute"] == "a"
+        assert diagnostic.details["variable"] == "a"
+
+
+class TestSetDiagnostics:
+    def test_condition_c_clash_reported_per_attribute(self, schema):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 18, c > 90)
+            ic2: NOT(Client(id, a, c), a > 80, c < 10)
+            """
+        )
+        diagnostics = locality_diagnostics(constraints, schema)
+        condition_c = [d for d in diagnostics if d.code == CONDITION_C]
+        clashing = {
+            (d.details["relation"], d.details["attribute"]) for d in condition_c
+        }
+        assert clashing == {("Client", "a"), ("Client", "c")}
+
+    def test_collects_failures_across_constraints(self, schema):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a = 17, c > 50)
+            ic2: NOT(Client(id, a, c), id = 3)
+            """
+        )
+        diagnostics = locality_diagnostics(constraints, schema)
+        assert [d.code for d in diagnostics] == [CONDITION_A, CONDITION_B]
+        assert diagnostics[0].constraint == "ic1"
+        assert diagnostics[1].constraint == "ic2"
+
+
+class TestRaisingWrappers:
+    """check_local / check_local_set stay fail-compatible but carry all
+    diagnostics on the exception."""
+
+    def test_check_local_message_is_first_diagnostic(self, schema):
+        constraint = parse_denial("NOT(Client(id, a, c), a = 17, c > 50)")
+        with pytest.raises(LocalityError, match="condition \\(a\\)") as excinfo:
+            check_local(constraint, schema)
+        error = excinfo.value
+        assert error.diagnostics
+        assert str(error) == error.diagnostics[0].message
+
+    def test_check_local_set_collects_all(self, schema):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a = 17, c > 50)
+            ic2: NOT(Client(id, a, c), id = 3)
+            ic3: NOT(Client(id, a, c), c < 10)
+            """
+        )
+        # ic1 fails (a); ic2 fails (b); ic1's c > 50 and ic3's c < 10
+        # clash on Client.c (condition (c)).
+        with pytest.raises(LocalityError) as excinfo:
+            check_local_set(constraints, schema)
+        codes = [d.code for d in excinfo.value.diagnostics]
+        assert codes == [CONDITION_A, CONDITION_B, CONDITION_C]
+        assert str(excinfo.value) == excinfo.value.diagnostics[0].message
+
+    def test_passing_set_raises_nothing(self, schema):
+        constraints = parse_denials(
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)"
+        )
+        check_local_set(constraints, schema)

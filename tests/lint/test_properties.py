@@ -1,0 +1,86 @@
+"""Property: dropping lint-removable constraints preserves violations.
+
+The analyzer marks a constraint removable (``LINT010`` dead, ``LINT020``
+subsumed, ``LINT021`` duplicate) only when dropping it cannot change
+what a repair must do: dead constraints have no violations at all, and
+every violation of a subsumed/duplicated constraint contains a violation
+of a kept constraint over the same tuples.  We check that semantic claim
+on random instances, with random constraint sets spiked with crafted
+dead / subsumed / duplicate shapes.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.parser import parse_denial
+from repro.lint import lint_constraints, removable_constraints
+from repro.violations.detector import find_violations
+from repro.workloads.generator import random_detection_workload
+
+
+def _spiked_constraints(base, rng):
+    """The workload's constraints plus crafted removable shapes."""
+    k = rng.randint(5, 25)
+    extras = [
+        # Cross-atom dead body (caught only by the satisfiability pass).
+        parse_denial(
+            "NOT(Client(x, a, c), Client(y, a2, c2), x < y, y < x)",
+            name="dead",
+        ),
+        # Subsumed: strictly tighter bounds than 'wide' below.
+        parse_denial(f"NOT(Client(id, a, c), a < {k}, c > {k + 20})", name="narrow"),
+        parse_denial(f"NOT(Client(id, a, c), a < {k + 5}, c > {k + 10})", name="wide"),
+        # Exact duplicate of the first base constraint.
+        parse_denial(str(base[0]), name="copy"),
+    ]
+    combined = list(base) + extras
+    rng.shuffle(combined)
+    return tuple(combined)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_removable_constraints_preserve_violation_coverage(seed):
+    workload = random_detection_workload(seed, n_clients=15, n_constraints=3)
+    rng = random.Random(seed)
+    constraints = _spiked_constraints(workload.constraints, rng)
+
+    report = lint_constraints(workload.schema, constraints)
+    removed = set(removable_constraints(report))
+    kept = [c for c in constraints if c.label not in removed]
+    assert kept, "the analyzer must never empty a live constraint set"
+
+    kept_violations = {
+        frozenset(v.tuples)
+        for constraint in kept
+        for v in find_violations(workload.instance, constraint)
+    }
+    for constraint in constraints:
+        if constraint.label not in removed:
+            continue
+        for violation in find_violations(workload.instance, constraint):
+            # Some kept constraint is violated by a subset of the same
+            # tuples, so covering the kept universe fixes this one too.
+            assert any(
+                kept_set <= frozenset(violation.tuples)
+                for kept_set in kept_violations
+            ), (
+                f"violation of removed {constraint.label} not covered: "
+                f"{sorted(t.key for t in violation.tuples)}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dead_constraints_have_no_violations(seed):
+    workload = random_detection_workload(seed, n_clients=15, n_constraints=3)
+    rng = random.Random(seed)
+    constraints = _spiked_constraints(workload.constraints, rng)
+    report = lint_constraints(workload.schema, constraints)
+    dead_labels = {d.constraint for d in report.by_code("LINT010")}
+    assert "dead" in dead_labels
+    for constraint in constraints:
+        if constraint.label in dead_labels:
+            assert find_violations(workload.instance, constraint) == ()

@@ -1,0 +1,109 @@
+"""Difference-constraint satisfiability of denial bodies over ℤ."""
+
+from repro.constraints.atoms import BuiltinAtom, Comparator, VariableComparison
+from repro.constraints.parser import parse_denial
+from repro.lint.satisfiability import (
+    MAX_DISJUNCTIONS,
+    body_implies_builtin,
+    body_implies_comparison,
+    body_is_satisfiable,
+)
+
+
+def ic(text):
+    return parse_denial(text, name="ic")
+
+
+class TestSatisfiable:
+    def test_plain_bodies_are_satisfiable(self):
+        assert body_is_satisfiable(ic("NOT(Client(id, a, c), a < 18, c > 50)"))
+        assert body_is_satisfiable(ic("NOT(Client(id, a, c))"))
+        assert body_is_satisfiable(
+            ic("NOT(Client(x, a, c), Client(y, a2, c2), a < a2)")
+        )
+
+    def test_cross_atom_cycle_is_dead(self):
+        # Invisible to per-variable bound merging: x < y ∧ y < x.
+        assert not body_is_satisfiable(
+            ic("NOT(Client(x, a, c), Client(y, a2, c2), x < y, y < x)")
+        )
+
+    def test_offset_cycle_is_dead(self):
+        # x < y + 1 ∧ y < x - 1  ⇒  x < x, dead over ℤ.
+        assert not body_is_satisfiable(
+            ic("NOT(Client(x, a, c), Client(y, a2, c2), x < y + 1, y < x - 1)")
+        )
+
+    def test_offset_cycle_with_slack_is_live(self):
+        assert body_is_satisfiable(
+            ic("NOT(Client(x, a, c), Client(y, a2, c2), x < y + 1, y < x + 1)")
+        )
+
+    def test_empty_integer_range_is_dead(self):
+        # a > 5 ∧ a < 6 has no integer solution.
+        assert not body_is_satisfiable(ic("NOT(Client(id, a, c), a > 5, a < 6)"))
+        assert body_is_satisfiable(ic("NOT(Client(id, a, c), a > 5, a < 7)"))
+
+    def test_equality_chain_with_disequality_is_dead(self):
+        # a >= 5 ∧ a <= 5 ∧ a != 5.
+        assert not body_is_satisfiable(
+            ic("NOT(Client(id, a, c), a >= 5, a <= 5, a != 5)")
+        )
+
+    def test_self_comparison(self):
+        assert not body_is_satisfiable(
+            ic("NOT(Client(x, a, c), Client(y, a2, c2), x < x)")
+        )
+        assert body_is_satisfiable(
+            ic("NOT(Client(x, a, c), Client(y, a2, c2), x = x)")
+        )
+
+    def test_transitive_order_chain(self):
+        assert not body_is_satisfiable(
+            ic(
+                "NOT(Client(x, a, c), Client(y, a2, c2), "
+                "a < a2, a2 < c, c < a)"
+            )
+        )
+
+    def test_disjunction_cap_is_sound(self):
+        # More ≠ conjuncts than the cap: excess ones are dropped, which
+        # can only make a dead body look live - never the reverse.
+        disequalities = ", ".join(
+            f"a != {k}" for k in range(MAX_DISJUNCTIONS + 3)
+        )
+        live = ic(f"NOT(Client(id, a, c), {disequalities})")
+        assert body_is_satisfiable(live)
+        dead = ic(f"NOT(Client(id, a, c), {disequalities}, a < 3, a > 1)")
+        # a must be 2, and 'a != 2' is within the first MAX_DISJUNCTIONS.
+        assert not body_is_satisfiable(dead)
+
+
+class TestImplication:
+    def test_builtin_entailment(self):
+        constraint = ic("NOT(Client(id, a, c), a < 18)")
+        assert body_implies_builtin(
+            constraint, BuiltinAtom("a", Comparator.LT, 20)
+        )
+        assert not body_implies_builtin(
+            constraint, BuiltinAtom("a", Comparator.LT, 10)
+        )
+
+    def test_equality_entailment(self):
+        constraint = ic("NOT(Client(id, a, c), a >= 5, a <= 5)")
+        assert body_implies_builtin(
+            constraint, BuiltinAtom("a", Comparator.EQ, 5)
+        )
+
+    def test_comparison_entailment(self):
+        constraint = ic(
+            "NOT(Client(x, a, c), Client(y, a2, c2), a < a2, a2 < c)"
+        )
+        assert body_implies_comparison(
+            constraint,
+            VariableComparison("a", Comparator.LT, "c", 0),
+        )
+        assert not body_implies_comparison(
+            constraint,
+            VariableComparison("c", Comparator.LT, "a", 0),
+        )

@@ -1,0 +1,98 @@
+"""Constraint subsumption: pairwise test and whole-set analysis."""
+
+from repro.constraints.parser import parse_denial, parse_denials
+from repro.lint.subsumption import subsumes, subsumption_analysis
+
+
+def ic(text, name="ic"):
+    return parse_denial(text, name=name)
+
+
+class TestSubsumes:
+    def test_wider_bounds_subsume_tighter(self):
+        general = ic("NOT(Client(id, a, c), a < 18, c > 50)")
+        specific = ic("NOT(Client(id, a, c), a < 10, c > 60)")
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_fewer_atoms_subsume_more(self):
+        single = ic("NOT(Client(id, a, c), a < 18)")
+        joined = ic("NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)")
+        assert subsumes(single, joined)
+        assert not subsumes(joined, single)
+
+    def test_self_subsumption(self):
+        constraint = ic("NOT(Client(id, a, c), a < 18, c > 50)")
+        assert subsumes(constraint, constraint)
+
+    def test_respects_joins(self):
+        # The subsumer joins Buy and Client on id; a target with
+        # unrelated atoms (no shared variable) must not be subsumed.
+        joined = ic("NOT(Buy(x, i, p), Client(x, a, c), p > 25)")
+        unjoined = ic("NOT(Buy(x, i, p), Client(y, a, c), p > 20)")
+        assert not subsumes(joined, unjoined)
+        # The other direction holds: the unjoined body is weaker.
+        assert subsumes(unjoined, joined)
+
+    def test_respects_relation_names(self):
+        client = ic("NOT(Client(id, a, c), a < 18)")
+        buy = ic("NOT(Buy(id, i, p), i < 18)")
+        assert not subsumes(client, buy)
+
+    def test_variable_comparison_entailment(self):
+        general = ic("NOT(Buy(x, i, p), Buy(y, i2, p2), p < p2)")
+        specific = ic("NOT(Buy(x, i, p), Buy(y, i2, p2), p < p2 - 2)")
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+
+class TestAnalysis:
+    def test_empty_and_singleton(self):
+        assert subsumption_analysis([]).removable == frozenset()
+        only = ic("NOT(Client(id, a, c), a < 18)")
+        assert subsumption_analysis([only]).removable == frozenset()
+
+    def test_exact_duplicates_keep_first(self):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 18, c > 50)
+            ic2: NOT(Client(id, a, c), a < 18, c > 50)
+            """
+        )
+        result = subsumption_analysis(constraints)
+        assert result.duplicates == ((1, 0),)
+        assert result.subsumed == ()
+
+    def test_later_subsumed_by_earlier(self):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 18, c > 50)
+            ic2: NOT(Client(id, a, c), a < 10, c > 60)
+            """
+        )
+        result = subsumption_analysis(constraints)
+        assert result.subsumed == ((1, 0),)
+        assert result.removable == frozenset({1})
+
+    def test_newcomer_takeover(self):
+        # The more general constraint arrives last and evicts the kept
+        # specific one; the removal chain stays rooted at a kept index.
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 10, c > 60)
+            ic2: NOT(Client(id, a, c), a < 18, c > 50)
+            """
+        )
+        result = subsumption_analysis(constraints)
+        assert result.subsumed == ((0, 1),)
+        assert result.removable == frozenset({0})
+
+    def test_unrelated_constraints_all_kept(self):
+        constraints = parse_denials(
+            """
+            ic1: NOT(Client(id, a, c), a < 18)
+            ic2: NOT(Buy(id, i, p), p > 25)
+            """
+        )
+        result = subsumption_analysis(constraints)
+        assert result.removable == frozenset()

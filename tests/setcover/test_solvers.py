@@ -141,6 +141,13 @@ class TestLayerBehaviour:
         assert is_cover(instance, cover.selected)
         assert cover.weight == 3.0          # sets 0 and 2
 
+    def test_frequency_recorded_in_stats(self):
+        # The achieved approximation factor is the stat the static
+        # LINT040 prediction upper-bounds.
+        instance = make(2, [(1.0, [0]), (10.0, [0, 1]), (2.0, [1])])
+        assert layer_cover(instance).stats["frequency"] == 2.0
+        assert modified_layer_cover(instance).stats["frequency"] == 2.0
+
     def test_frequency_bound_holds(self):
         # layer approximates within max element frequency f.
         import random

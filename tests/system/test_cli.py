@@ -1,10 +1,10 @@
-"""Unit tests for the repro-repair command-line interface."""
+"""Unit tests for the repro-repair and repro lint command-line interfaces."""
 
 import json
 
 import pytest
 
-from repro.system.cli import build_parser, main
+from repro.system.cli import build_parser, lint_main, main, repro_main
 
 
 @pytest.fixture
@@ -86,3 +86,90 @@ class TestCli:
     def test_max_workers_must_be_positive(self, config_path, capsys):
         assert main([config_path, "--max-workers", "0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture
+def nonlocal_config_path(tmp_path, config_path):
+    data = json.loads((tmp_path / "config.json").read_text())
+    # Equality on a flexible attribute: locality condition (a) error.
+    data["constraints"] = ["ic1: NOT(Client(id, a, c), a = 17)"]
+    path = tmp_path / "nonlocal.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestLintCli:
+    def test_clean_workload_exits_zero(self, capsys):
+        assert lint_main(["--workload", "clientbuy"]) == 0
+        out = capsys.readouterr().out
+        assert "workload:clientbuy" in out
+        assert "LINT040" in out
+
+    def test_all_bundled_workloads_pass_error_gate(self, capsys):
+        args = []
+        for name in ("clientbuy", "finance", "census", "paperdemo"):
+            args += ["--workload", name]
+        assert lint_main(args) == 0
+        capsys.readouterr()
+
+    def test_config_file_source(self, config_path, capsys):
+        assert lint_main([config_path]) == 0
+        assert config_path in capsys.readouterr().out
+
+    def test_error_diagnostics_gate_exit_code(self, nonlocal_config_path, capsys):
+        assert lint_main([nonlocal_config_path]) == 1
+        assert "LINT030" in capsys.readouterr().out
+
+    def test_fail_on_never_reports_without_gating(self, nonlocal_config_path, capsys):
+        assert lint_main([nonlocal_config_path, "--fail-on", "never"]) == 0
+        assert "LINT030" in capsys.readouterr().out
+
+    def test_fail_on_info_gates_clean_workload(self, capsys):
+        # clientbuy emits an info-level LINT040, enough for --fail-on info.
+        assert lint_main(["--workload", "clientbuy", "--fail-on", "info"]) == 1
+        capsys.readouterr()
+
+    def test_json_format_round_trips(self, nonlocal_config_path, capsys):
+        assert lint_main([nonlocal_config_path, "--format", "json"]) == 1
+        documents = json.loads(capsys.readouterr().out)
+        (document,) = documents
+        assert document["source"] == nonlocal_config_path
+        assert document["summary"]["errors"] >= 1
+        assert any(
+            d["code"] == "LINT030" for d in document["diagnostics"]
+        )
+
+    def test_pass_selection(self, nonlocal_config_path, capsys):
+        args = [nonlocal_config_path, "--pass", "satisfiability"]
+        assert lint_main(args) == 0
+        assert "LINT030" not in capsys.readouterr().out
+
+    def test_no_sources_is_usage_error(self, capsys):
+        assert lint_main([]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_missing_config_is_config_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReproMain:
+    def test_dispatches_repair(self, config_path, capsys):
+        assert repro_main(["repair", config_path, "--dry-run"]) == 0
+        assert "dry run" in capsys.readouterr().out
+
+    def test_dispatches_lint(self, capsys):
+        assert repro_main(["lint", "--workload", "paperdemo"]) == 0
+        assert "workload:paperdemo" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        assert repro_main(["polish"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert repro_main([]) == 2
+        assert "usage: repro" in capsys.readouterr().err
+
+    def test_help_flag(self, capsys):
+        assert repro_main(["--help"]) == 0
+        assert "usage: repro" in capsys.readouterr().out

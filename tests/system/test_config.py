@@ -157,3 +157,31 @@ class TestRuntimeBlock:
         data["runtime"] = runtime
         with pytest.raises(ConfigError, match=message):
             RepairConfig.from_dict(data)
+
+
+class TestLintBlock:
+    def test_default_is_off(self):
+        config = RepairConfig.from_dict(minimal_config())
+        assert config.lint_preflight is False
+        assert config.lint_fail_on == "error"
+
+    def test_lint_block_parsed(self):
+        data = minimal_config()
+        data["lint"] = {"preflight": True, "fail_on": "warning"}
+        config = RepairConfig.from_dict(data)
+        assert config.lint_preflight is True
+        assert config.lint_fail_on == "warning"
+
+    @pytest.mark.parametrize(
+        "lint, message",
+        [
+            ({"preflight": "yes"}, "preflight"),
+            ({"fail_on": "fatal"}, "fail_on"),
+            ("strict", "lint"),
+        ],
+    )
+    def test_bad_lint_rejected(self, lint, message):
+        data = minimal_config()
+        data["lint"] = lint
+        with pytest.raises(ConfigError, match=message):
+            RepairConfig.from_dict(data)

@@ -119,3 +119,71 @@ class TestSqlitePipeline:
             instance, sqlite_config.constraints
         )
         assert len(sql_violations) == len(memory_violations)
+
+
+class TestLintPreflight:
+    def test_clean_constraints_pass_preflight(self):
+        config = memory_config(ROWS, lint={"preflight": True})
+        report = RepairProgram(config).run(export=False)
+        assert is_consistent(report.result.repaired, config.constraints)
+
+    def test_preflight_blocks_nonlocal_constraints(self):
+        from repro import LintError
+
+        config = memory_config(
+            ROWS,
+            constraints=["ic1: NOT(Client(id, a, c), a = 17)"],
+            lint={"preflight": True},
+        )
+        with pytest.raises(LintError, match="preflight failed") as excinfo:
+            RepairProgram(config).run(export=False)
+        assert any(d.code == "LINT030" for d in excinfo.value.report)
+
+    def test_warning_gate(self):
+        from repro import LintError
+
+        # A subsumed constraint is only a warning: the default error gate
+        # lets it through, fail_on=warning blocks it.
+        constraints = [
+            "ic1: NOT(Client(id, a, c), a < 18, c > 50)",
+            "ic2: NOT(Client(id, a, c), a < 10, c > 60)",
+        ]
+        passing = memory_config(
+            ROWS, constraints=constraints, lint={"preflight": True}
+        )
+        RepairProgram(passing).run(export=False)
+        gated = memory_config(
+            ROWS,
+            constraints=constraints,
+            lint={"preflight": True, "fail_on": "warning"},
+        )
+        with pytest.raises(LintError):
+            RepairProgram(gated).run(export=False)
+
+    def test_preflight_off_by_default(self):
+        # Non-local constraints without preflight still fail, but with
+        # the locality error of the repair engine, not a LintError.
+        from repro import LocalityError
+
+        config = memory_config(
+            ROWS, constraints=["ic1: NOT(Client(id, a, c), a = 17)"]
+        )
+        with pytest.raises(LocalityError):
+            RepairProgram(config).run(export=False)
+
+
+class TestEnginePreflight:
+    def test_repair_database_preflight_flag(self):
+        from repro import LintError, parse_denials
+        from repro.repair.engine import repair_database
+
+        workload = client_buy_workload(8, seed=3)
+        bad = parse_denials("ic1: NOT(Client(id, a, c), a = 17)")
+        with pytest.raises(LintError) as excinfo:
+            repair_database(workload.instance, bad, preflight=True)
+        assert excinfo.value.report.errors
+        # A clean local set passes the preflight and repairs normally.
+        result = repair_database(
+            workload.instance, workload.constraints, preflight=True
+        )
+        assert is_consistent(result.repaired, workload.constraints)
