@@ -26,9 +26,16 @@ from repro.setcover import (
     modified_layer_cover,
 )
 
-from conftest import clientbuy_problem, quick_mode, record_bench_json, record_point
+from conftest import (
+    clientbuy_problem,
+    quick_mode,
+    record_bench_json,
+    record_point,
+    trace_mode,
+)
 
 QUICK = quick_mode()
+TRACE = trace_mode()
 SIZES = [250, 500] if QUICK else [250, 500, 1000, 2000]
 LARGE_SIZES = [1000] if QUICK else [4000, 8000]   # modified variants only
 TABLE = "Figure 3: solver runtime (seconds, single run)"
@@ -146,8 +153,25 @@ def test_parallel_engine_serial_vs_process(benchmark):
             workload.constraints,
             algorithm="modified-greedy",
             parallel=parallel,
+            trace=TRACE,
         )
         return result, time.perf_counter() - started
+
+    def span_breakdown(result):
+        """Per-span wall totals from the recorded trace (trace mode only)."""
+        if result.trace is None:
+            return None
+        from repro.obs import summarize_trace
+
+        return [
+            {
+                "span": row["name"],
+                "count": row["count"],
+                "wall_seconds": row["wall_seconds"],
+                "share": row["share"],
+            }
+            for row in summarize_trace(result.trace)
+        ]
 
     # 'serial' here is the decomposed pipeline on one worker - the exact
     # computation the pool distributes, so the comparison isolates the
@@ -177,6 +201,9 @@ def test_parallel_engine_serial_vs_process(benchmark):
             "serial": {
                 "total_seconds": serial_seconds,
                 "stages": dict(serial_result.elapsed_seconds),
+                **(
+                    {"spans": span_breakdown(serial_result)} if TRACE else {}
+                ),
             },
             "process": {
                 "total_seconds": parallel_seconds,
@@ -186,8 +213,12 @@ def test_parallel_engine_serial_vs_process(benchmark):
                     for k, v in parallel_result.solver_stats.items()
                     if isinstance(v, (int, float, str))
                 },
+                **(
+                    {"spans": span_breakdown(parallel_result)} if TRACE else {}
+                ),
             },
             "speedup": speedup,
+            "traced": TRACE,
         },
     )
     benchmark.extra_info["speedup"] = speedup

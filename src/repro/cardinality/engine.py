@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.constraints.denial import DenialConstraint
 from repro.fixes.distance import CITY_DISTANCE, DistanceMetric
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
+from repro.obs import Tracer, as_tracer
 from repro.repair.engine import repair_database
 from repro.repair.result import RepairResult
 from repro.cardinality.transform import (
@@ -31,6 +33,7 @@ class DeletionRepairResult:
     repaired: DatabaseInstance
     deleted: tuple[Tuple, ...]
     inner: RepairResult
+    trace: Any = None
 
     @property
     def deletions(self) -> int:
@@ -62,6 +65,7 @@ def cardinality_repair(
     parallel=None,
     max_workers: int | None = None,
     engine: str = "auto",
+    trace: "bool | Tracer" = False,
 ) -> DeletionRepairResult:
     """Approximate a minimum-cardinality tuple-deletion repair.
 
@@ -83,27 +87,52 @@ def cardinality_repair(
         Forwarded to :func:`repro.repair.engine.repair_database` - the
         transformed instance ``D#`` decomposes, fans out, and picks its
         detection engine exactly like a direct attribute-update repair.
+    trace:
+        ``True`` records the whole run - a ``cardinality-repair`` root
+        span with ``transform`` and ``project`` stages around the nested
+        ``repair`` span tree - and returns the finished trace on
+        ``DeletionRepairResult.trace``.  A caller-provided tracer nests
+        the run instead (and keeps ownership).
     """
-    transform = build_delta_transform(
-        instance, constraints, mode=mode, table_weights=table_weights
-    )
-    inner = repair_database(
-        transform.instance,
-        transform.constraints,
-        algorithm=algorithm,
-        metric=metric,
-        verify=verify,
-        # IC# is local by construction (all δ comparisons are '>', joins
-        # bind hard attributes in delete mode); mixed mode keeps the check.
-        check_locality=(mode == "mixed"),
-        parallel=parallel,
-        max_workers=max_workers,
-        engine=engine,
-    )
-    repaired, deleted = project_delta(transform, inner.repaired)
-    return DeletionRepairResult(
-        repaired=repaired, deleted=deleted, inner=inner
-    )
+    tracer = as_tracer(trace)
+    owns_trace = tracer.enabled and not isinstance(trace, Tracer)
+    with ExitStack() as ctx:
+        ctx.enter_context(tracer.activate())
+        root = ctx.enter_context(
+            tracer.span("cardinality-repair", category="pipeline", mode=mode)
+        )
+        with tracer.span("transform", category="stage") as transform_span:
+            transform = build_delta_transform(
+                instance, constraints, mode=mode, table_weights=table_weights
+            )
+            transform_span.tag(tuples=len(transform.instance))
+        inner = repair_database(
+            transform.instance,
+            transform.constraints,
+            algorithm=algorithm,
+            metric=metric,
+            verify=verify,
+            # IC# is local by construction (all δ comparisons are '>', joins
+            # bind hard attributes in delete mode); mixed mode keeps the check.
+            check_locality=(mode == "mixed"),
+            parallel=parallel,
+            max_workers=max_workers,
+            engine=engine,
+            # Pass the tracer object (not True): the inner repair nests
+            # into this trace instead of starting its own.
+            trace=tracer if tracer.enabled else False,
+        )
+        with tracer.span("project", category="stage") as project_span:
+            repaired, deleted = project_delta(transform, inner.repaired)
+            project_span.tag(deletions=len(deleted))
+        root.tag(deletions=len(deleted))
+        result_trace = None
+        if owns_trace:
+            ctx.close()
+            result_trace = tracer.finish()
+        return DeletionRepairResult(
+            repaired=repaired, deleted=deleted, inner=inner, trace=result_trace
+        )
 
 
 def all_optimal_deletion_repairs(

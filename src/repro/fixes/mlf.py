@@ -26,6 +26,7 @@ from repro.constraints.denial import DenialConstraint
 from repro.exceptions import LocalityError
 from repro.model.schema import Schema
 from repro.model.tuples import Tuple, TupleRef
+from repro.obs import current_tracer
 from repro.violations.detector import ViolationSet
 
 
@@ -92,6 +93,7 @@ def mono_local_fixes_for_tuple(
         fixed = mono_local_fix(tup, constraint, attribute.name, schema)
         if fixed is not None:
             fixes[attribute.name] = fixed
+    current_tracer().metrics.counter("mlf_evaluations").inc(len(fixes))
     return fixes
 
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any
 from repro.exceptions import KernelError
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
+from repro.obs import current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     import numpy
@@ -131,11 +132,19 @@ class ColumnarStore:
     def relation(
         self, instance: DatabaseInstance, relation_name: str
     ) -> ColumnarRelation:
-        """Current snapshot of one relation (rebuilt iff it mutated)."""
+        """Current snapshot of one relation (rebuilt iff it mutated).
+
+        Hit/miss rates land in the ``columnar_cache_hits`` /
+        ``columnar_cache_misses`` counters of an active tracer - the
+        signal for "are kernel runs amortizing their snapshot builds".
+        """
         version = instance.data_version(relation_name)
         cached = self._snapshots.get(relation_name)
+        metrics = current_tracer().metrics
         if cached is not None and cached[0] == version:
+            metrics.counter("columnar_cache_hits", relation=relation_name).inc()
             return cached[1]
+        metrics.counter("columnar_cache_misses", relation=relation_name).inc()
         snapshot = ColumnarRelation(relation_name, instance.tuples(relation_name))
         self._snapshots[relation_name] = (version, snapshot)
         return snapshot

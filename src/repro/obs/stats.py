@@ -1,0 +1,75 @@
+"""The ``solver_stats`` schema: the one place its keys and types live.
+
+``RepairResult.solver_stats`` accumulates bookkeeping from three layers
+(the set-cover solver, the component decomposition, the runtime), and
+historically each layer coerced values ad hoc - counts came back as
+``float`` from the decomposition's merge loop while the engine stored
+others as ``int``.  :func:`normalize_solver_stats` applied at the
+result boundary makes the schema uniform:
+
+==========================  =======  =====================================
+key                         type     meaning
+==========================  =======  =====================================
+``scanned_sets``            int      greedy: candidate sets scanned
+``heap_updates``            int      modified greedy/layer: heap operations
+``nodes``                   int      exact: branch-and-bound nodes
+``phi``                     int      modified layer: phases
+``frequency``               int      max element frequency f (bound factor)
+``components``              int      decomposition: connected components
+``oversized_components``    int      components solved by the fallback
+``runtime_backend``         str      executor backend (decomposed runs)
+``runtime_workers``         int      resolved worker count
+``detect_workers``          int      workers used by the detect stage
+``solve_workers``           int      workers used by the solve stage
+``detection_engine``        str      ``kernel`` / ``interpreted``
+==========================  =======  =====================================
+
+Unknown keys pass through unchanged (solvers may add new counters before
+this table learns about them); unknown *count-like* values (floats with
+no fractional part under a key listed in :data:`COUNT_KEYS`) are
+converted to ``int``.  Stage wall-clock timings are deliberately *not*
+part of ``solver_stats``: they live in ``RepairResult.elapsed_seconds``,
+which a traced run derives from the span tree (see
+:mod:`repro.obs.spans`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Keys whose values are counts and therefore always ``int``.
+COUNT_KEYS = frozenset(
+    {
+        "scanned_sets",
+        "heap_updates",
+        "nodes",
+        "phi",
+        "frequency",
+        "components",
+        "oversized_components",
+        "runtime_workers",
+        "detect_workers",
+        "solve_workers",
+    }
+)
+
+#: Keys whose values are labels and therefore ``str``.
+LABEL_KEYS = frozenset({"runtime_backend", "detection_engine"})
+
+
+def normalize_solver_stats(stats: Mapping[str, Any]) -> dict[str, Any]:
+    """Coerce a raw stats mapping onto the documented schema.
+
+    Count keys become ``int`` (a float count like ``4.0`` is the
+    decomposition merge loop's summation artifact); label keys become
+    ``str``; everything else passes through untouched.
+    """
+    normalized: dict[str, Any] = {}
+    for key, value in stats.items():
+        if key in COUNT_KEYS and isinstance(value, float) and value.is_integer():
+            normalized[key] = int(value)
+        elif key in LABEL_KEYS:
+            normalized[key] = str(value)
+        else:
+            normalized[key] = value
+    return normalized

@@ -1,0 +1,312 @@
+"""Tracer: span lifecycle, thread fan-in, process-worker merging.
+
+One :class:`Tracer` observes one traced run (a ``repair_database`` call,
+an :class:`~repro.repair.incremental.IncrementalRepairer` lifetime, a
+benchmark).  Instrumented library code never holds a tracer reference;
+it asks for the *active* one::
+
+    from repro.obs import current_tracer
+
+    with current_tracer().span("detect:ic1", category="detect") as span:
+        ...
+        span.tag(violations=n)
+
+and :func:`current_tracer` returns :data:`NULL_TRACER` unless a run
+activated a real tracer (``with tracer.activate(): ...``).  The null
+tracer's ``span()`` returns one shared no-op context manager and its
+``metrics`` registry drops everything, so the disabled path costs a few
+attribute lookups per instrumented site - no spans are ever created
+(the overhead-regression suite in ``tests/obs`` pins this down).
+
+Thread fan-in
+    The active tracer is process-global and the span stack is
+    per-thread.  A span opened on a pool thread whose stack is empty
+    attaches to the tracer's *anchor* - the innermost open span that was
+    started with ``anchor=True`` (the engine marks its ``detect`` and
+    ``solve`` stage spans that way) - so thread-pool workers' spans nest
+    under the stage that dispatched them.
+
+Process fan-in
+    Process-pool workers cannot see the parent's tracer.  The runtime
+    ships a ``trace`` flag with each work batch; the worker runs under a
+    fresh local tracer, exports it with :meth:`Tracer.export_remote`
+    (span dicts + metric snapshot, all picklable), and the parent folds
+    it back in with :meth:`Tracer.attach_remote` - spans are clamped
+    into the receiving stage span when it closes, metrics merge
+    (counters add, gauges max).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Iterator, Mapping
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import Span, Trace
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "as_tracer",
+    "current_tracer",
+]
+
+
+class _OpenSpan:
+    """Context manager driving one span's lifecycle on the owning tracer."""
+
+    __slots__ = ("_tracer", "_span", "_anchor", "_prev_anchor")
+
+    def __init__(self, tracer: "Tracer", span: Span, anchor: bool) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._anchor = anchor
+        self._prev_anchor: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack()
+        stack.append(self._span)
+        if self._anchor:
+            self._prev_anchor = tracer._anchor
+            tracer._anchor = self._span
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = self._span
+        stack = tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if self._anchor:
+            tracer._anchor = self._prev_anchor
+        if exc_type is not None:
+            span.tag(error=exc_type.__name__)
+        span.close()
+        parent = stack[-1] if stack else tracer._anchor
+        with tracer._lock:
+            if parent is not None and parent is not span:
+                parent.children.append(span)
+            else:
+                tracer._roots.append(span)
+        return False
+
+
+class _Activation:
+    """Context manager installing a tracer as the process-global active one."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: "Tracer | NullTracer") -> None:
+        self._tracer = tracer
+        self._previous: "Tracer | NullTracer | None" = None
+
+    def __enter__(self):
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            self._previous = _ACTIVE
+            _ACTIVE = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            _ACTIVE = self._previous
+        return False
+
+
+class Tracer:
+    """Collects spans and metrics for one traced run (thread-safe)."""
+
+    enabled = True
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self.metrics = MetricsRegistry()
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._anchor: Span | None = None
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(
+        self, name: str, category: str = "", anchor: bool = False, **tags: Any
+    ) -> _OpenSpan:
+        """Open a span; use as ``with tracer.span(...) as span:``.
+
+        ``anchor=True`` additionally makes the span the attachment point
+        for spans opened on foreign threads while it is open (see the
+        module docstring).
+        """
+        return _OpenSpan(self, Span(name, category, tags), anchor)
+
+    def current(self) -> Span | None:
+        """The innermost open span on the calling thread (or the anchor)."""
+        stack = self._stack()
+        return stack[-1] if stack else self._anchor
+
+    # -- activation ---------------------------------------------------------
+
+    def activate(self) -> _Activation:
+        """Install as the process-global tracer for the ``with`` body."""
+        return _Activation(self)
+
+    # -- process-worker fan-in ----------------------------------------------
+
+    def export_remote(self) -> dict[str, Any]:
+        """Picklable payload of everything this (worker) tracer recorded."""
+        with self._lock:
+            roots = list(self._roots)
+        return {
+            "pid": os.getpid(),
+            "spans": [root.to_dict() for root in roots],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def attach_remote(
+        self, payload: "Mapping[str, Any] | None", parent: Span | None = None
+    ) -> None:
+        """Fold a worker's :meth:`export_remote` payload into this tracer.
+
+        Spans attach under ``parent`` (default: the calling thread's
+        current span / anchor) and are clamped into its window when it
+        closes; metrics merge (counters add, gauges keep the max).
+        """
+        if not payload:
+            return
+        spans = [Span.from_dict(d) for d in payload.get("spans", ())]
+        if spans:
+            target = parent if parent is not None else self.current()
+            with self._lock:
+                if target is not None:
+                    target.children.extend(spans)
+                else:
+                    self._roots.extend(spans)
+        metrics = payload.get("metrics")
+        if metrics:
+            self.metrics.merge_snapshot(metrics)
+
+    # -- finishing ----------------------------------------------------------
+
+    def finish(self) -> Trace:
+        """Snapshot everything recorded so far as an immutable Trace.
+
+        Roots are ordered by start time (threads may have appended out of
+        order); open spans are left out - finish after the run.
+        """
+        with self._lock:
+            roots = [root for root in self._roots if root.closed]
+        roots.sort(key=lambda span: span.start)
+        return Trace(
+            roots=roots,
+            metrics=self.metrics.snapshot(),
+            meta={"tracer": self.name, "pid": os.getpid()},
+        )
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.name!r}, roots={len(self._roots)})"
+
+
+# ---------------------------------------------------------------------------
+# disabled path
+
+
+class _NullSpanContext:
+    """Shared do-nothing span context: the entire disabled-tracing cost."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "_NullSpanContext":
+        return self
+
+    # Mirror the read surface of Span so instrumentation never branches.
+    name = ""
+    category = ""
+    tags: Mapping[str, Any] = {}
+    children: tuple = ()
+    duration = 0.0
+    cpu = 0.0
+
+
+class NullTracer:
+    """The inactive tracer: records nothing, allocates nothing per span."""
+
+    enabled = False
+    metrics = NULL_METRICS
+    name = "null"
+
+    __slots__ = ()
+
+    def span(
+        self, name: str, category: str = "", anchor: bool = False, **tags: Any
+    ) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def activate(self) -> _Activation:
+        return _Activation(self)
+
+    def export_remote(self) -> dict[str, Any]:
+        return {"pid": os.getpid(), "spans": [], "metrics": NULL_METRICS.snapshot()}
+
+    def attach_remote(self, payload, parent=None) -> None:
+        pass
+
+    def finish(self) -> Trace:
+        return Trace(roots=(), metrics=NULL_METRICS.snapshot())
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+_NULL_SPAN = _NullSpanContext()
+NULL_TRACER = NullTracer()
+
+_ACTIVE: "Tracer | NullTracer" = NULL_TRACER
+_ACTIVE_LOCK = threading.Lock()
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The process-global active tracer (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE
+
+
+def as_tracer(trace: "bool | Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Normalize the user-facing ``trace=`` option.
+
+    ``None``/``False`` → the null tracer; ``True`` → a fresh
+    :class:`Tracer`; an existing tracer passes through (so callers can
+    nest several pipeline calls into one trace).
+    """
+    if trace is None or trace is False:
+        return NULL_TRACER
+    if trace is True:
+        return Tracer()
+    if isinstance(trace, (Tracer, NullTracer)):
+        return trace
+    raise TypeError(
+        f"trace must be a bool or a Tracer, got {type(trace).__name__}"
+    )
+
+
+def iter_spans(roots: "tuple[Span, ...] | list[Span]") -> Iterator[Span]:
+    """Depth-first walk over a list of root spans (exporter helper)."""
+    for root in roots:
+        yield from root.walk()

@@ -9,18 +9,31 @@ The detection and solving stages optionally fan out over the
 solving per connected component of the MWSCP instance (see
 :mod:`repro.setcover.decompose`).  Both stages are shared-nothing, so
 every backend — serial, thread, process — produces the identical repair.
+
+With ``trace=True`` the run is recorded by the :mod:`repro.obs` layer:
+one ``repair`` root span with a stage span per Figure-1 box (``detect``,
+``reduce``, ``solve``, ``apply``, ``verify``), per-constraint detection
+spans and per-solver spans nested inside — including spans recorded by
+thread- and process-pool workers, which the runtime merges back into the
+stage that dispatched them.  ``RepairResult.elapsed_seconds`` then
+becomes a thin view over the stage spans (same keys as the untraced
+dict, so no caller changes), and ``RepairResult.trace`` carries the full
+:class:`~repro.obs.spans.Trace`.  Tracing never alters the computation:
+traced and untraced runs produce byte-identical repairs.
 """
 
 from __future__ import annotations
 
 import logging
 import time
+from contextlib import ExitStack
 from typing import Iterable, Sequence
 
 from repro.constraints.denial import DenialConstraint
 from repro.exceptions import RepairError
 from repro.fixes.distance import CITY_DISTANCE, DistanceMetric, get_metric
 from repro.model.instance import DatabaseInstance
+from repro.obs import Tracer, as_tracer, normalize_solver_stats
 from repro.repair.apply import apply_cover
 from repro.repair.builder import RepairProblem, build_repair_problem
 from repro.repair.result import RepairResult
@@ -31,6 +44,25 @@ from repro.violations.detector import ViolationSet, find_all_violations, is_cons
 from repro.violations.kernels import resolve_engine
 
 logger = logging.getLogger(__name__)
+
+#: Span name → ``elapsed_seconds`` key (the ``reduce`` stage keeps its
+#: historical ``build`` key so serialized results stay comparable).
+_STAGE_KEYS = {
+    "detect": "detect",
+    "reduce": "build",
+    "solve": "solve",
+    "apply": "apply",
+    "verify": "verify",
+}
+
+
+def _stage_view(root_span) -> dict[str, float]:
+    """``elapsed_seconds`` derived from the stage spans of a traced run."""
+    return {
+        _STAGE_KEYS[child.name]: child.duration or 0.0
+        for child in root_span.children
+        if child.category == "stage" and child.name in _STAGE_KEYS
+    }
 
 
 def repair_database(
@@ -46,6 +78,7 @@ def repair_database(
     max_workers: int | None = None,
     engine: str = "auto",
     preflight: bool = False,
+    trace: "bool | Tracer" = False,
 ) -> RepairResult:
     """Compute an (approximate) attribute-update repair of ``instance``.
 
@@ -95,6 +128,12 @@ def repair_database(
         Run the static constraint analyzer (:mod:`repro.lint`) first and
         raise :class:`~repro.exceptions.LintError` - with the full
         report attached - when it finds error-severity diagnostics.
+    trace:
+        ``True`` records the run with a fresh
+        :class:`~repro.obs.Tracer` (returned via ``RepairResult.trace``);
+        an existing tracer nests this run into a larger trace (the
+        cardinality engine and the incremental repairer do this).
+        Tracing observes only - the repair is byte-identical either way.
 
     Returns
     -------
@@ -102,7 +141,8 @@ def repair_database(
         The repaired instance plus distance, change log and solver stats.
         ``elapsed_seconds`` splits the wall clock per stage (``detect``,
         ``build``, ``solve``, ``apply``, ``verify``); ``solver_stats``
-        records the runtime backend and per-stage worker counts.
+        follows the schema of :mod:`repro.obs.stats`; ``trace`` carries
+        the span tree of a traced run.
     """
     constraints = tuple(constraints)
     if preflight:
@@ -131,114 +171,183 @@ def repair_database(
     # cover is a function of the request, not of the machine it ran on.
     decomposed = policy.backend != "serial"
     executor = Executor(policy)
+    tracer = as_tracer(trace)
+    # A trace created here is finished here; a caller-provided tracer is
+    # left open so several pipeline calls can share one trace.
+    owns_trace = tracer.enabled and not isinstance(trace, Tracer)
 
-    started = time.perf_counter()
-    detect_workers = 1
-    if violations is None:
-        if executor.is_parallel and len(constraints) > 1:
-            detect_workers = min(executor.workers, len(constraints))
-        violations = find_all_violations(
-            instance,
-            constraints,
-            executor=executor if detect_workers > 1 else None,
-            engine=engine,
+    with ExitStack() as ctx:
+        ctx.enter_context(tracer.activate())
+        root = ctx.enter_context(
+            tracer.span(
+                "repair",
+                category="pipeline",
+                algorithm=str(algorithm),
+                engine=resolve_engine(engine),
+                backend=executor.backend if decomposed else "serial",
+                tuples=len(instance),
+                constraints=len(constraints),
+            )
         )
-    detected = time.perf_counter()
 
-    problem = build_repair_problem(
-        instance,
-        constraints,
-        metric=metric,
-        check_locality=check_locality,
-        violations=violations,
-    )
-    built = time.perf_counter()
+        started = time.perf_counter()
+        detect_workers = 1
+        with tracer.span("detect", category="stage", anchor=True) as detect_span:
+            if violations is None:
+                if executor.is_parallel and len(constraints) > 1:
+                    detect_workers = min(executor.workers, len(constraints))
+                violations = find_all_violations(
+                    instance,
+                    constraints,
+                    executor=executor if detect_workers > 1 else None,
+                    engine=engine,
+                )
+            detect_span.tag(violations=len(violations), workers=detect_workers)
+        if tracer.enabled:
+            from repro.violations.degree import degree_of_database
 
-    if problem.is_consistent:
-        return RepairResult(
-            repaired=instance.copy(),
-            algorithm=str(algorithm),
-            cover_weight=0.0,
-            distance=0.0,
-            changes=(),
-            violations_before=0,
-            verified=True,
-            metric=metric.name,
-            elapsed_seconds={
+            tracer.metrics.gauge("inconsistency_degree").set_max(
+                degree_of_database(violations)
+            )
+        detected = time.perf_counter()
+
+        with tracer.span("reduce", category="stage") as reduce_span:
+            problem = build_repair_problem(
+                instance,
+                constraints,
+                metric=metric,
+                check_locality=check_locality,
+                violations=violations,
+            )
+            reduce_span.tag(
+                sets=len(problem.setcover.sets),
+                elements=problem.setcover.n_elements,
+            )
+        built = time.perf_counter()
+
+        if problem.is_consistent:
+            root.tag(consistent=True)
+            root_elapsed = {
                 "detect": detected - started,
                 "build": built - detected,
-            },
-        )
-
-    logger.info(
-        "repair: %d violations, %d candidate fixes, solving with %s%s",
-        len(problem.violations),
-        len(problem.setcover.sets),
-        algorithm if isinstance(algorithm, str) else getattr(algorithm, "__name__", "?"),
-        f" [{executor.backend} x{executor.workers}]" if decomposed else "",
-    )
-    solve_workers = 1
-    if decomposed:
-        solver, max_elements, fallback = component_solver(algorithm)
-        if executor.is_parallel:
-            solve_workers = executor.workers
-        cover = solve_by_components(
-            problem.setcover,
-            solver,
-            max_component_elements=max_elements,
-            fallback=fallback,
-            executor=executor,
-        )
-    else:
-        cover = get_solver(algorithm)(problem.setcover)
-    solved = time.perf_counter()
-    logger.info(
-        "repair: cover weight %g with %d sets in %.3fs",
-        cover.weight,
-        len(cover.selected),
-        solved - built,
-    )
-
-    repaired, changes, distance = apply_cover(problem, cover)
-    applied = time.perf_counter()
-
-    verified = False
-    if verify:
-        if not is_consistent(repaired, constraints, engine=engine):
-            remaining = find_all_violations(repaired, constraints, engine=engine)
-            raise RepairError(
-                f"repair left {len(remaining)} violations - the constraint "
-                "set is not local or the cover construction is inconsistent; "
-                f"first remaining violation: {remaining[0]!r}"
+            }
+            result_trace = None
+            if tracer.enabled:
+                detect_span.close()
+                reduce_span.close()
+                root_elapsed = {
+                    "detect": detect_span.duration or 0.0,
+                    "build": reduce_span.duration or 0.0,
+                }
+                if owns_trace:
+                    result_trace = _finish_after(ctx, tracer)
+            return RepairResult(
+                repaired=instance.copy(),
+                algorithm=str(algorithm),
+                cover_weight=0.0,
+                distance=0.0,
+                changes=(),
+                violations_before=0,
+                verified=True,
+                metric=metric.name,
+                elapsed_seconds=root_elapsed,
+                trace=result_trace,
             )
-        verified = True
 
-    solver_stats = dict(cover.stats)
-    solver_stats["detection_engine"] = resolve_engine(engine)
-    if decomposed:
-        solver_stats["runtime_backend"] = executor.backend
-        solver_stats["runtime_workers"] = float(executor.workers)
-        solver_stats["detect_workers"] = float(detect_workers)
-        solver_stats["solve_workers"] = float(solve_workers)
-    return RepairResult(
-        repaired=repaired,
-        algorithm=cover.algorithm,
-        cover_weight=cover.weight,
-        distance=distance,
-        changes=changes,
-        violations_before=len(problem.violations),
-        verified=verified,
-        metric=metric.name,
-        solver_iterations=cover.iterations,
-        solver_stats=solver_stats,
-        elapsed_seconds={
+        logger.info(
+            "repair: %d violations, %d candidate fixes, solving with %s%s",
+            len(problem.violations),
+            len(problem.setcover.sets),
+            algorithm if isinstance(algorithm, str) else getattr(algorithm, "__name__", "?"),
+            f" [{executor.backend} x{executor.workers}]" if decomposed else "",
+        )
+        solve_workers = 1
+        with tracer.span("solve", category="stage", anchor=True) as solve_span:
+            if decomposed:
+                solver, max_elements, fallback = component_solver(algorithm)
+                if executor.is_parallel:
+                    solve_workers = executor.workers
+                cover = solve_by_components(
+                    problem.setcover,
+                    solver,
+                    max_component_elements=max_elements,
+                    fallback=fallback,
+                    executor=executor,
+                )
+            else:
+                cover = get_solver(algorithm)(problem.setcover)
+            solve_span.tag(
+                weight=cover.weight,
+                selected=len(cover.selected),
+                workers=solve_workers,
+            )
+        solved = time.perf_counter()
+        logger.info(
+            "repair: cover weight %g with %d sets in %.3fs",
+            cover.weight,
+            len(cover.selected),
+            solved - built,
+        )
+
+        with tracer.span("apply", category="stage") as apply_span:
+            repaired, changes, distance = apply_cover(problem, cover)
+            apply_span.tag(changes=len(changes), distance=distance)
+        applied = time.perf_counter()
+
+        verified = False
+        if verify:
+            with tracer.span("verify", category="stage") as verify_span:
+                if not is_consistent(repaired, constraints, engine=engine):
+                    remaining = find_all_violations(repaired, constraints, engine=engine)
+                    raise RepairError(
+                        f"repair left {len(remaining)} violations - the constraint "
+                        "set is not local or the cover construction is inconsistent; "
+                        f"first remaining violation: {remaining[0]!r}"
+                    )
+                verified = True
+                verify_span.tag(consistent=True)
+
+        solver_stats = dict(cover.stats)
+        solver_stats["detection_engine"] = resolve_engine(engine)
+        if decomposed:
+            solver_stats["runtime_backend"] = executor.backend
+            solver_stats["runtime_workers"] = executor.workers
+            solver_stats["detect_workers"] = detect_workers
+            solver_stats["solve_workers"] = solve_workers
+        elapsed = {
             "detect": detected - started,
             "build": built - detected,
             "solve": solved - built,
             "apply": applied - solved,
             "verify": time.perf_counter() - applied if verify else 0.0,
-        },
-    )
+        }
+        result_trace = None
+        if tracer.enabled:
+            root.close()
+            # The thin view: the same keys, now read off the stage spans.
+            elapsed = {**elapsed, **_stage_view(root)}
+            if owns_trace:
+                result_trace = _finish_after(ctx, tracer)
+        return RepairResult(
+            repaired=repaired,
+            algorithm=cover.algorithm,
+            cover_weight=cover.weight,
+            distance=distance,
+            changes=changes,
+            violations_before=len(problem.violations),
+            verified=verified,
+            metric=metric.name,
+            solver_iterations=cover.iterations,
+            solver_stats=normalize_solver_stats(solver_stats),
+            elapsed_seconds=elapsed,
+            trace=result_trace,
+        )
+
+
+def _finish_after(ctx: ExitStack, tracer: Tracer):
+    """Close all open spans of ``ctx`` and snapshot the finished trace."""
+    ctx.close()
+    return tracer.finish()
 
 
 def repair_problem_cover(

@@ -24,6 +24,7 @@ Usage::
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
@@ -33,6 +34,7 @@ from repro.exceptions import RepairError
 from repro.fixes.distance import CITY_DISTANCE, DistanceMetric, get_metric
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
+from repro.obs import Tracer, as_tracer, normalize_solver_stats
 from repro.repair.builder import build_repair_problem
 from repro.repair.apply import apply_cover
 from repro.repair.result import RepairResult
@@ -64,7 +66,14 @@ class IncrementalRepairer:
         parallel: "bool | str | ExecutionPolicy | None" = None,
         max_workers: int | None = None,
         engine: str = "auto",
+        trace: "bool | Tracer" = False,
     ) -> None:
+        # One tracer observes the repairer's whole lifetime: every commit
+        # adds a ``commit`` span (tagged with its delta-round number), so
+        # the finished trace shows the incremental cost profile across
+        # batches.  Read it with :meth:`finish_trace`.
+        self._tracer = as_tracer(trace)
+        self._rounds = 0
         self._constraints = tuple(constraints)
         self._algorithm = algorithm
         self._metric = get_metric(metric)
@@ -93,12 +102,19 @@ class IncrementalRepairer:
                     "initial instance is inconsistent; pass "
                     "repair_initial=True or repair it first"
                 )
-            problem = build_repair_problem(
-                self._instance, self._constraints, metric=self._metric,
-                check_locality=False,
-            )
-            cover = self._solve(problem.setcover)
-            self._instance, _, _ = apply_cover(problem, cover)
+            with ExitStack() as ctx:
+                ctx.enter_context(self._tracer.activate())
+                ctx.enter_context(
+                    self._tracer.span(
+                        "initial-repair", category="pipeline", anchor=True
+                    )
+                )
+                problem = build_repair_problem(
+                    self._instance, self._constraints, metric=self._metric,
+                    check_locality=False,
+                )
+                cover = self._solve(problem.setcover)
+                self._instance, _, _ = apply_cover(problem, cover)
         self._staged: list[Tuple] = []
         # Persistent join indexes keep anchored detection sublinear across
         # commits; built lazily on the (now consistent) working instance.
@@ -163,59 +179,99 @@ class IncrementalRepairer:
         that defeats the purpose of incrementality, so it is off by
         default and exercised in tests.
         """
-        violations = find_violations_involving(
-            self._instance,
-            self._constraints,
-            self._staged,
-            raw_indexes=self._join_indexes,
-            executor=self._executor if self._policy.is_parallel else None,
-            engine=self._engine,
-        )
-        self._staged = []
-        if not violations:
-            result = RepairResult(
-                repaired=self._instance.copy(),
-                algorithm=str(self._algorithm),
-                cover_weight=0.0,
-                distance=0.0,
-                changes=(),
-                violations_before=0,
+        self._rounds += 1
+        with ExitStack() as ctx:
+            ctx.enter_context(self._tracer.activate())
+            commit_span = ctx.enter_context(
+                self._tracer.span(
+                    "commit",
+                    category="pipeline",
+                    round=self._rounds,
+                    staged=len(self._staged),
+                )
+            )
+            with self._tracer.span(
+                "detect", category="stage", anchor=True
+            ) as detect_span:
+                violations = find_violations_involving(
+                    self._instance,
+                    self._constraints,
+                    self._staged,
+                    raw_indexes=self._join_indexes,
+                    executor=self._executor if self._policy.is_parallel else None,
+                    engine=self._engine,
+                )
+                detect_span.tag(violations=len(violations))
+            self._staged = []
+            if not violations:
+                commit_span.tag(consistent=True)
+                result = RepairResult(
+                    repaired=self._instance.copy(),
+                    algorithm=str(self._algorithm),
+                    cover_weight=0.0,
+                    distance=0.0,
+                    changes=(),
+                    violations_before=0,
+                    verified=verify,
+                    metric=self._metric.name,
+                )
+                if verify:
+                    with self._tracer.span("verify", category="stage"):
+                        self._verify()
+                return result
+
+            with self._tracer.span("reduce", category="stage") as reduce_span:
+                problem = build_repair_problem(
+                    self._instance,
+                    self._constraints,
+                    metric=self._metric,
+                    check_locality=False,          # checked once in __init__
+                    violations=violations,
+                )
+                reduce_span.tag(sets=len(problem.setcover.sets))
+            with self._tracer.span(
+                "solve", category="stage", anchor=True
+            ) as solve_span:
+                cover = self._solve(problem.setcover)
+                solve_span.tag(weight=cover.weight, selected=len(cover.selected))
+            with self._tracer.span("apply", category="stage") as apply_span:
+                repaired, changes, distance = apply_cover(problem, cover)
+                for ref in {change.ref for change in changes}:
+                    self._join_indexes.notify_replace(
+                        self._instance.resolve(ref), repaired.resolve(ref)
+                    )
+                self._instance = repaired
+                self._join_indexes.rebind(self._instance)
+                apply_span.tag(changes=len(changes), distance=distance)
+            if verify:
+                with self._tracer.span("verify", category="stage"):
+                    self._verify()
+            return RepairResult(
+                repaired=repaired.copy(),
+                algorithm=cover.algorithm,
+                cover_weight=cover.weight,
+                distance=distance,
+                changes=changes,
+                violations_before=len(violations),
                 verified=verify,
                 metric=self._metric.name,
+                solver_iterations=cover.iterations,
+                solver_stats=normalize_solver_stats(dict(cover.stats)),
             )
-            if verify:
-                self._verify()
-            return result
 
-        problem = build_repair_problem(
-            self._instance,
-            self._constraints,
-            metric=self._metric,
-            check_locality=False,          # checked once in __init__
-            violations=violations,
-        )
-        cover = self._solve(problem.setcover)
-        repaired, changes, distance = apply_cover(problem, cover)
-        for ref in {change.ref for change in changes}:
-            self._join_indexes.notify_replace(
-                self._instance.resolve(ref), repaired.resolve(ref)
-            )
-        self._instance = repaired
-        self._join_indexes.rebind(self._instance)
-        if verify:
-            self._verify()
-        return RepairResult(
-            repaired=repaired.copy(),
-            algorithm=cover.algorithm,
-            cover_weight=cover.weight,
-            distance=distance,
-            changes=changes,
-            violations_before=len(violations),
-            verified=verify,
-            metric=self._metric.name,
-            solver_iterations=cover.iterations,
-            solver_stats=dict(cover.stats),
-        )
+    @property
+    def tracer(self) -> "Tracer":
+        """The tracer observing this repairer (the null tracer when off)."""
+        return self._tracer
+
+    def finish_trace(self):
+        """Snapshot the lifetime trace: one ``commit`` span per delta round.
+
+        Returns an empty :class:`~repro.obs.spans.Trace` when tracing was
+        not requested; call after the commits of interest (spans of later
+        commits simply extend the next snapshot).
+        """
+        return self._tracer.finish()
 
     def _solve(self, setcover) -> "Cover":
         """Solve one commit's MWSCP; decomposed when parallelism is on.

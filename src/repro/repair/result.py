@@ -55,6 +55,12 @@ class RepairResult:
     elapsed_seconds:
         Wall-clock split per phase: ``detect``, ``build``, ``solve``,
         ``apply`` (the paper's Figure 3 reports the ``solve`` component).
+        On a traced run these values are read off the stage spans, so
+        the dict and the trace always agree.
+    trace:
+        The :class:`~repro.obs.spans.Trace` of a ``trace=True`` run
+        (``None`` otherwise, and ``None`` when the caller supplied its
+        own :class:`~repro.obs.Tracer` - the caller finishes that one).
     """
 
     repaired: DatabaseInstance
@@ -68,6 +74,7 @@ class RepairResult:
     solver_iterations: int = 0
     solver_stats: Mapping[str, Any] = field(default_factory=dict)
     elapsed_seconds: Mapping[str, float] = field(default_factory=dict)
+    trace: Any = None
 
     @property
     def tuples_changed(self) -> int:

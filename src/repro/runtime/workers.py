@@ -20,6 +20,15 @@ Result shapes are plain tuples; the calling stage reassembles them into
 :class:`~repro.setcover.result.Cover` / ``ViolationSet`` values in the
 original input order, which keeps the parallel paths byte-identical to the
 serial ones.
+
+Tracing crosses the process boundary the same way: each batch payload
+optionally ends with a ``trace`` flag.  When set, the worker runs its
+batch under a fresh local :class:`~repro.obs.Tracer` and the result
+becomes ``(results, remote)`` where ``remote`` is the picklable
+:meth:`~repro.obs.Tracer.export_remote` payload; the dispatching stage
+folds it back with :meth:`~repro.obs.Tracer.attach_remote`.  The flag is
+only sent for the process backend — thread workers already see the
+parent's active tracer.
 """
 
 from __future__ import annotations
@@ -72,59 +81,110 @@ def _instance_from_spec(spec: tuple) -> SetCoverInstance:
     )
 
 
+class _WorkerTrace:
+    """Context manager running a worker batch under a fresh local tracer.
+
+    ``remote()`` yields the picklable export once the batch finished, or
+    ``None`` when tracing was off (so callers can uniformly build their
+    result shape).
+    """
+
+    __slots__ = ("_enabled", "_tracer", "_activation")
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+        self._tracer = None
+        self._activation = None
+
+    def __enter__(self) -> "_WorkerTrace":
+        if self._enabled:
+            from repro.obs import Tracer
+
+            self._tracer = Tracer("worker")
+            self._activation = self._tracer.activate()
+            self._activation.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._activation is not None:
+            self._activation.__exit__(exc_type, exc, tb)
+        return False
+
+    def remote(self) -> "dict | None":
+        if self._tracer is None:
+            return None
+        return self._tracer.export_remote()
+
+
 def solve_component_batch(
     payload: "tuple[Sequence[tuple], Sequence[str | Callable]]",
-) -> list[tuple]:
+) -> "list[tuple] | tuple[list[tuple], dict]":
     """Solve one batch of components; one solver token per component.
 
+    ``payload`` is ``(specs, tokens)`` or ``(specs, tokens, trace)``.
     Returns ``[(selected, weight, iterations, stats), ...]`` aligned with
-    the input batch.
+    the input batch — wrapped as ``(results, remote_trace)`` when the
+    trace flag is set.
     """
-    specs, tokens = payload
+    specs, tokens, trace = (*payload, False)[:3]
     results: list[tuple] = []
-    for spec, token in zip(specs, tokens):
-        cover = resolve_solver(token)(_instance_from_spec(spec))
-        results.append(
-            (cover.selected, cover.weight, cover.iterations, dict(cover.stats))
-        )
+    with _WorkerTrace(trace) as wt:
+        for spec, token in zip(specs, tokens):
+            cover = resolve_solver(token)(_instance_from_spec(spec))
+            results.append(
+                (cover.selected, cover.weight, cover.iterations, dict(cover.stats))
+            )
+    if trace:
+        return results, wt.remote()
     return results
 
 
-def detect_constraint_batch(payload: tuple) -> list[tuple]:
+def detect_constraint_batch(payload: tuple) -> "list[tuple] | tuple[list[tuple], dict]":
     """Run ``find_violations`` for one batch of constraints.
 
-    ``payload`` is ``(instance, constraints, max_violations, engine)``; the
-    result is one tuple of :class:`~repro.violations.detector.ViolationSet`
-    per constraint, in batch order.  A tripped ``max_violations`` safety
-    valve raises :class:`~repro.exceptions.ConstraintError`, which the
-    executor re-raises in the parent.  Process workers receive a pickled
-    instance copy and build their own columnar snapshots for the kernel
-    engine.
+    ``payload`` is ``(instance, constraints, max_violations, engine)`` plus
+    an optional trailing ``trace`` flag; the result is one tuple of
+    :class:`~repro.violations.detector.ViolationSet` per constraint, in
+    batch order — wrapped as ``(results, remote_trace)`` when tracing.  A
+    tripped ``max_violations`` safety valve raises
+    :class:`~repro.exceptions.ConstraintError`, which the executor
+    re-raises in the parent.  Process workers receive a pickled instance
+    copy and build their own columnar snapshots for the kernel engine.
     """
-    instance, constraints, max_violations, engine = payload
+    instance, constraints, max_violations, engine, trace = (*payload, False)[:5]
     from repro.violations.detector import find_violations
 
-    return [
-        find_violations(instance, constraint, max_violations, engine)
-        for constraint in constraints
-    ]
+    with _WorkerTrace(trace) as wt:
+        results = [
+            find_violations(instance, constraint, max_violations, engine)
+            for constraint in constraints
+        ]
+    if trace:
+        return results, wt.remote()
+    return results
 
 
-def detect_anchored_batch(payload: tuple) -> list[tuple]:
+def detect_anchored_batch(payload: tuple) -> "list[tuple] | tuple[list[tuple], dict]":
     """Anchored (incremental) detection for one batch of constraints.
 
-    ``payload`` is ``(instance, constraints, anchors, raw_indexes, engine)``;
-    returns one tuple of ``ViolationSet`` per constraint, in batch order.
+    ``payload`` is ``(instance, constraints, anchors, raw_indexes, engine)``
+    plus an optional trailing ``trace`` flag; returns one tuple of
+    ``ViolationSet`` per constraint, in batch order — wrapped as
+    ``(results, remote_trace)`` when tracing.
     """
-    instance, constraints, anchors, raw_indexes, engine = payload
+    instance, constraints, anchors, raw_indexes, engine, trace = (*payload, False)[:6]
     from repro.violations.detector import violations_involving_constraint
 
-    return [
-        violations_involving_constraint(
-            instance, constraint, anchors, raw_indexes, engine
-        )
-        for constraint in constraints
-    ]
+    with _WorkerTrace(trace) as wt:
+        results = [
+            violations_involving_constraint(
+                instance, constraint, anchors, raw_indexes, engine
+            )
+            for constraint in constraints
+        ]
+    if trace:
+        return results, wt.remote()
+    return results
 
 
 def detection_cost(constraint: Any) -> float:

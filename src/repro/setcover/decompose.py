@@ -132,6 +132,12 @@ def _solve_components_parallel(
     ex = as_executor(executor)
     if not ex.is_parallel or len(components) <= 1:
         return None
+    # Thread workers record into the active tracer directly (under the
+    # solve anchor); process workers export a remote payload instead.
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    trace_remote = tracer.enabled and ex.backend == "process"
     tokens = [solver_token(use) for use in chosen]
     costs = [
         float(c.instance.n_elements + len(c.instance.sets)) for c in components
@@ -141,11 +147,17 @@ def _solve_components_parallel(
         (
             [component_spec(components[i].instance) for i in chunk],
             [tokens[i] for i in chunk],
+            trace_remote,
         )
         for chunk in chunks
     ]
     results: list[tuple | None] = [None] * len(components)
-    for chunk, batch in zip(chunks, ex.map(solve_component_batch, payloads)):
+    for chunk, outcome in zip(chunks, ex.map(solve_component_batch, payloads)):
+        if trace_remote:
+            batch, remote = outcome
+            tracer.attach_remote(remote)
+        else:
+            batch = outcome
         for index, result in zip(chunk, batch):
             results[index] = result
     return results  # type: ignore[return-value]
@@ -210,7 +222,7 @@ def solve_by_components(
     selected: list[int] = []
     total_weight = 0.0
     iterations = 0
-    merged_stats: dict[str, float] = {}
+    merged_stats: dict[str, "int | float"] = {}
     for component, (local_selected, weight, local_iterations, stats) in zip(
         components, results
     ):
@@ -218,16 +230,20 @@ def solve_by_components(
         total_weight += weight
         iterations += local_iterations
         for key, value in stats.items():
-            try:
-                merged_stats[key] = merged_stats.get(key, 0.0) + float(value)
-            except (TypeError, ValueError):
-                continue  # non-numeric solver stat: nothing sensible to merge
+            # Int counts stay int (see repro.obs.stats for the schema);
+            # any float contribution makes the sum float.
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                try:
+                    value = float(value)
+                except (TypeError, ValueError):
+                    continue  # non-numeric solver stat: nothing sensible to merge
+            merged_stats[key] = merged_stats.get(key, 0) + value
 
     label = _solver_name(solver)
     if oversized:
         label = f"{label}, fallback={_solver_name(fallback)}"
-    merged_stats["components"] = float(len(components))
-    merged_stats["oversized_components"] = float(oversized)
+    merged_stats["components"] = len(components)
+    merged_stats["oversized_components"] = oversized
     return Cover(
         selected=tuple(selected),
         weight=total_weight,

@@ -16,6 +16,7 @@ elements.
 from __future__ import annotations
 
 from repro.exceptions import SetCoverError
+from repro.obs import traced_solver
 from repro.setcover.greedy import greedy_cover
 from repro.setcover.instance import SetCoverInstance
 from repro.setcover.result import Cover
@@ -24,6 +25,7 @@ from repro.setcover.result import Cover
 MAX_EXACT_ELEMENTS = 64
 
 
+@traced_solver("exact")
 def exact_cover(
     instance: SetCoverInstance, max_elements: int = MAX_EXACT_ELEMENTS
 ) -> Cover:

@@ -18,10 +18,12 @@ to the modified greedy, so both algorithms return exactly the same cover.
 
 from __future__ import annotations
 
+from repro.obs import traced_solver
 from repro.setcover.instance import SetCoverInstance
 from repro.setcover.result import Cover
 
 
+@traced_solver("greedy")
 def greedy_cover(instance: SetCoverInstance) -> Cover:
     """Run Algorithm 1 and return the selected cover.
 

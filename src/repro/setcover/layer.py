@@ -26,6 +26,7 @@ covers than greedy in practice, and runs slower.
 
 from __future__ import annotations
 
+from repro.obs import traced_solver
 from repro.setcover.heap import IndexedHeap
 from repro.setcover.instance import SetCoverInstance
 from repro.setcover.result import Cover
@@ -36,6 +37,7 @@ def _tolerance(weight: float) -> float:
     return 1e-9 * (1.0 + abs(weight))
 
 
+@traced_solver("layer")
 def layer_cover(instance: SetCoverInstance) -> Cover:
     """Run the plain layer algorithm (per-iteration full subtraction)."""
     instance.check_coverable()
@@ -101,6 +103,7 @@ def layer_cover(instance: SetCoverInstance) -> Cover:
     )
 
 
+@traced_solver("modified-layer")
 def modified_layer_cover(instance: SetCoverInstance) -> Cover:
     """Run the layer algorithm on the modified-greedy data structures.
 

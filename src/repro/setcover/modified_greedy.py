@@ -24,11 +24,13 @@ the same cover; the experiments therefore only compare their running time
 
 from __future__ import annotations
 
+from repro.obs import traced_solver
 from repro.setcover.heap import IndexedHeap
 from repro.setcover.instance import SetCoverInstance
 from repro.setcover.result import Cover
 
 
+@traced_solver("modified-greedy")
 def modified_greedy_cover(instance: SetCoverInstance) -> Cover:
     """Run the modified greedy algorithm (Algorithm 5) and return the cover."""
     instance.check_coverable()

@@ -1,15 +1,23 @@
-"""Command-line entry points: ``repro-repair`` and ``repro lint``.
+"""Command-line entry points: ``repro-repair``, ``repro lint``, ``repro trace``.
 
 ``repro-repair <config.json>`` runs the Figure-1 pipeline from a
 configuration file and prints the repair summary.  ``--dry-run`` skips the
 export step; ``--algorithm`` and ``--metric`` override the configured
-choices; ``--changes`` also prints each cell update.
+choices; ``--changes`` also prints each cell update.  ``--trace`` records
+the run with the observability layer (:mod:`repro.obs`) and prints the
+span tree; ``--trace-out FILE`` writes it (``--trace-format``: ``chrome``
+for ``chrome://tracing`` / Perfetto, ``json`` for the lossless native
+form, ``tree`` for the text report).
 
 ``repro lint`` runs the static constraint analyzer (:mod:`repro.lint`)
 over the ``(schema, constraints)`` of one or more configuration files
 and/or bundled workloads - no database instance is loaded.  Exit code 0
 means no diagnostics at or above ``--fail-on``; 1 means the gate fired;
 2 means a usage or configuration error.
+
+``repro trace <file>`` replays a saved trace (native or Chrome format)
+as an aggregated summary table - count, wall, CPU and share per span
+name; ``--tree`` prints the full span tree instead.
 """
 
 from __future__ import annotations
@@ -84,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every cell update of the repair",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the run with the observability layer and print the "
+        "span tree (detect/reduce/solve/apply/verify stages, "
+        "per-constraint and per-solver spans, metrics)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the recorded trace to FILE (implies --trace)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=["chrome", "json", "tree"],
+        help="trace file format for --trace-out (default: chrome)",
+    )
     return parser
 
 
@@ -108,6 +133,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             overrides["runtime_workers"] = args.max_workers
         if args.engine:
             overrides["detection_engine"] = args.engine
+        if args.trace or args.trace_out or args.trace_format:
+            overrides["trace_enabled"] = True
+        if args.trace_out:
+            overrides["trace_out"] = args.trace_out
+        if args.trace_format:
+            overrides["trace_format"] = args.trace_format
         if overrides:
             config = dataclasses.replace(config, **overrides)
         program = RepairProgram(config)
@@ -129,6 +160,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if report.deletion is not None:
             for tup in report.deletion.deleted:
                 print(f"  deleted {tup!r}")
+    if args.trace and report.trace is not None:
+        from repro.obs import render_tree
+
+        print(render_tree(report.trace))
     return 0
 
 
@@ -272,15 +307,48 @@ def lint_main(argv: Sequence[str] | None = None) -> int:
     return 1 if gate_fired else 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    """The ``repro trace`` argparse parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Replay a saved repair trace (native repro-trace JSON or "
+            "Chrome trace-event format) as an aggregated summary table."
+        ),
+    )
+    parser.add_argument("file", help="path to the saved trace file")
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the full span tree instead of the summary table",
+    )
+    return parser
+
+
+def trace_main(argv: Sequence[str] | None = None) -> int:
+    """``repro trace`` entry point; returns the process exit code."""
+    from repro.obs import format_summary, load_trace, render_tree
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        trace = load_trace(args.file)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_tree(trace) if args.tree else format_summary(trace))
+    return 0
+
+
 def repro_main(argv: Sequence[str] | None = None) -> int:
-    """``repro <subcommand>`` dispatcher (``repair`` or ``lint``)."""
+    """``repro <subcommand>`` dispatcher (``repair``, ``lint``, ``trace``)."""
     arguments = list(sys.argv[1:] if argv is None else argv)
     if not arguments or arguments[0] in ("-h", "--help"):
         print(
-            "usage: repro {repair,lint} ...\n\n"
+            "usage: repro {repair,lint,trace} ...\n\n"
             "subcommands:\n"
             "  repair  run the Figure-1 repair pipeline (see repro-repair)\n"
-            "  lint    statically analyze a constraint set",
+            "  lint    statically analyze a constraint set\n"
+            "  trace   summarize a saved repair trace",
             file=sys.stderr if arguments == [] else sys.stdout,
         )
         return 2 if not arguments else 0
@@ -289,8 +357,11 @@ def repro_main(argv: Sequence[str] | None = None) -> int:
         return main(rest)
     if subcommand == "lint":
         return lint_main(rest)
+    if subcommand == "trace":
+        return trace_main(rest)
     print(
-        f"error: unknown subcommand {subcommand!r}; choose 'repair' or 'lint'",
+        f"error: unknown subcommand {subcommand!r}; "
+        "choose 'repair', 'lint', or 'trace'",
         file=sys.stderr,
     )
     return 2

@@ -39,6 +39,13 @@ in-memory violation-detection ``engine`` (``auto`` / ``kernel`` /
 ``interpreted``, see :mod:`repro.violations.kernels`); it defaults to the
 serial pipeline with the ``auto`` engine.
 
+``runtime.trace`` switches on the observability layer
+(:mod:`repro.obs`): either a boolean, or an object
+``{"enabled": true, "out": "trace.json", "format": "chrome"}`` naming a
+file the finished trace is written to (``format``: ``chrome`` /
+``json`` / ``tree``).  Without ``out`` the program still records the
+trace and attaches it to its report.
+
 The optional ``lint`` block (``{"preflight": true, "fail_on": "error"}``)
 makes the pipeline run the static constraint analyzer
 (:mod:`repro.lint`) before loading any data and abort with a
@@ -99,6 +106,9 @@ class RepairConfig:
     runtime_backend: str = "serial"
     runtime_workers: int | None = None
     detection_engine: str = "auto"
+    trace_enabled: bool = False
+    trace_out: str | None = None
+    trace_format: str = "chrome"
     lint_preflight: bool = False
     lint_fail_on: str = "error"
 
@@ -212,6 +222,9 @@ class RepairConfig:
                 f"runtime.engine must be one of {_VALID_ENGINES}, "
                 f"got {detection_engine!r}"
             )
+        trace_enabled, trace_out, trace_format = _parse_trace(
+            runtime.get("trace", False)
+        )
 
         lint = data.get("lint", {})
         if not isinstance(lint, Mapping):
@@ -253,9 +266,39 @@ class RepairConfig:
             runtime_backend=runtime_backend,
             runtime_workers=runtime_workers,
             detection_engine=detection_engine,
+            trace_enabled=trace_enabled,
+            trace_out=trace_out,
+            trace_format=trace_format,
             lint_preflight=lint_preflight,
             lint_fail_on=lint_fail_on,
         )
+
+
+def _parse_trace(data: Any) -> tuple[bool, str | None, str]:
+    """Validate the ``runtime.trace`` block (bool or object form)."""
+    from repro.obs import TRACE_FORMATS
+
+    if isinstance(data, bool):
+        return data, None, "chrome"
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"runtime.trace must be a boolean or an object, got {data!r}"
+        )
+    enabled = data.get("enabled", True)
+    if not isinstance(enabled, bool):
+        raise ConfigError(
+            f"runtime.trace.enabled must be a boolean, got {enabled!r}"
+        )
+    out = data.get("out")
+    if out is not None and not isinstance(out, str):
+        raise ConfigError(f"runtime.trace.out must be a string, got {out!r}")
+    format = data.get("format", "chrome")
+    if format not in TRACE_FORMATS:
+        raise ConfigError(
+            f"runtime.trace.format must be one of {TRACE_FORMATS}, "
+            f"got {format!r}"
+        )
+    return enabled, out, format
 
 
 def _parse_schema(data: Any) -> Schema:

@@ -15,10 +15,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.cardinality.engine import DeletionRepairResult, cardinality_repair
 from repro.exceptions import ConfigError, LintError
 from repro.model.instance import DatabaseInstance
+from repro.obs import write_trace
 from repro.repair.engine import repair_database
 from repro.repair.result import RepairResult
 from repro.storage.base import Backend
@@ -42,6 +44,8 @@ class ProgramReport:
     result: RepairResult
     export_note: str
     deletion: DeletionRepairResult | None = None
+    trace: Any = None
+    trace_note: str | None = None
 
     def summary(self) -> str:
         """Human-readable run report."""
@@ -50,6 +54,8 @@ class ProgramReport:
             lines.append(f"semantics        : {self.config.repair_semantics}")
             lines.append(f"tuples deleted   : {self.deletion.deletions}")
         lines.append(f"export           : {self.export_note}")
+        if self.trace_note is not None:
+            lines.append(f"trace            : {self.trace_note}")
         return "\n".join(lines)
 
 
@@ -122,6 +128,7 @@ class RepairProgram:
             violations=violations,
             parallel=policy if policy.backend != "serial" else None,
             engine=self.config.detection_engine,
+            trace=self.config.trace_enabled,
         )
         if export:
             note = self.backend.export_repair(
@@ -129,7 +136,14 @@ class RepairProgram:
             )
         else:
             note = "dry run (no export)"
-        return ProgramReport(config=self.config, result=result, export_note=note)
+        trace, trace_note = self._emit_trace(result.trace)
+        return ProgramReport(
+            config=self.config,
+            result=result,
+            export_note=note,
+            trace=trace,
+            trace_note=trace_note,
+        )
 
     def _run_deletion(
         self, instance: DatabaseInstance, export: bool
@@ -150,6 +164,7 @@ class RepairProgram:
             metric=self.config.metric,
             parallel=policy if policy.backend != "serial" else None,
             engine=self.config.detection_engine,
+            trace=self.config.trace_enabled,
         )
         if export:
             note = self.backend.export_snapshot(
@@ -159,9 +174,21 @@ class RepairProgram:
             )
         else:
             note = "dry run (no export)"
+        trace, trace_note = self._emit_trace(deletion.trace)
         return ProgramReport(
             config=self.config,
             result=deletion.inner,
             export_note=note,
             deletion=deletion,
+            trace=trace,
+            trace_note=trace_note,
         )
+
+    def _emit_trace(self, trace) -> "tuple[Any, str | None]":
+        """Write the finished trace to the configured file, if any."""
+        if trace is None:
+            return None, None
+        if self.config.trace_out is None:
+            return trace, f"recorded ({len(trace)} spans, not written)"
+        path = write_trace(trace, self.config.trace_out, self.config.trace_format)
+        return trace, f"written to {path} ({self.config.trace_format})"

@@ -37,6 +37,7 @@ from repro.constraints.denial import DenialConstraint
 from repro.exceptions import ConstraintError, KernelError
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
+from repro.obs import current_tracer
 from repro.violations.kernels import (
     anchored_kernel_witnesses,
     kernel_witnesses,
@@ -421,7 +422,35 @@ def find_violations(
     (a safety valve against accidentally cartesian constraints); exceeding
     it raises :class:`ConstraintError`.  ``engine`` selects the columnar
     kernel or the interpreted enumeration (see the module docstring).
+
+    Under an active tracer each call records a ``detect:<label>`` span
+    tagged with the engine and the violation count, and bumps the
+    ``violations_found{constraint=<label>}`` counter - on pool threads
+    the span lands under the engine's ``detect`` stage anchor, in process
+    workers it is exported and merged by the runtime.
     """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _find_violations(instance, constraint, max_violations, engine)
+    with tracer.span(
+        f"detect:{constraint.label}",
+        category="detect",
+        engine=resolve_engine(engine),
+    ) as span:
+        violations = _find_violations(instance, constraint, max_violations, engine)
+        span.tag(violations=len(violations))
+        tracer.metrics.counter(
+            "violations_found", constraint=constraint.label
+        ).inc(len(violations))
+        return violations
+
+
+def _find_violations(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    max_violations: int | None,
+    engine: str,
+) -> tuple[ViolationSet, ...]:
     if resolve_engine(engine) == "kernel":
         try:
             used_sets = _kernel_used_sets(instance, constraint, max_violations)
@@ -496,14 +525,30 @@ def _detect_parallel(
     ex = as_executor(executor)
     if not ex.is_parallel or len(constraints) <= 1:
         return None
+    # Thread workers see the active tracer directly (spans land under the
+    # detect anchor); process workers cannot, so ship a trace flag and
+    # merge the exported spans/metrics on the way back.
+    tracer = current_tracer()
+    trace_remote = tracer.enabled and ex.backend == "process"
     costs = [detection_cost(constraint) for constraint in constraints]
     chunks = balanced_chunks(costs, ex.n_chunks(len(constraints)))
     payloads = [
-        (instance, [constraints[i] for i in chunk], max_violations, engine)
+        (
+            instance,
+            [constraints[i] for i in chunk],
+            max_violations,
+            engine,
+            trace_remote,
+        )
         for chunk in chunks
     ]
     results: list[tuple[ViolationSet, ...] | None] = [None] * len(constraints)
-    for chunk, batch in zip(chunks, ex.map(detect_constraint_batch, payloads)):
+    for chunk, outcome in zip(chunks, ex.map(detect_constraint_batch, payloads)):
+        if trace_remote:
+            batch, remote = outcome
+            tracer.attach_remote(remote)
+        else:
+            batch = outcome
         for index, violations in zip(chunk, batch):
             results[index] = _reintern_constraint(violations, constraints[index])
     return results  # type: ignore[return-value]
@@ -573,6 +618,33 @@ def violations_involving_constraint(
     whole-relation snapshots on every call - pass ``engine="kernel"``
     to force the kernel anyway.
     """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _violations_involving_constraint(
+            instance, constraint, anchors, raw_indexes, engine
+        )
+    with tracer.span(
+        f"detect:{constraint.label}",
+        category="detect",
+        anchors=len(anchors),
+    ) as span:
+        violations = _violations_involving_constraint(
+            instance, constraint, anchors, raw_indexes, engine
+        )
+        span.tag(violations=len(violations))
+        tracer.metrics.counter(
+            "violations_found", constraint=constraint.label
+        ).inc(len(violations))
+        return violations
+
+
+def _violations_involving_constraint(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    anchors: Sequence[Tuple],
+    raw_indexes: Mapping | None,
+    engine: str,
+) -> tuple[ViolationSet, ...]:
     resolved = resolve_engine(engine)
     if engine == "auto" and raw_indexes is not None:
         resolved = "interpreted"
@@ -673,6 +745,8 @@ def _detect_anchored_parallel(
     ex = as_executor(executor)
     if not ex.is_parallel or len(constraints) <= 1:
         return None
+    tracer = current_tracer()
+    trace_remote = tracer.enabled and ex.backend == "process"
     shipped_indexes = raw_indexes if ex.backend == "thread" else None
     costs = [detection_cost(constraint) for constraint in constraints]
     chunks = balanced_chunks(costs, ex.n_chunks(len(constraints)))
@@ -683,11 +757,17 @@ def _detect_anchored_parallel(
             anchors,
             shipped_indexes,
             engine,
+            trace_remote,
         )
         for chunk in chunks
     ]
     results: list[tuple[ViolationSet, ...] | None] = [None] * len(constraints)
-    for chunk, batch in zip(chunks, ex.map(detect_anchored_batch, payloads)):
+    for chunk, outcome in zip(chunks, ex.map(detect_anchored_batch, payloads)):
+        if trace_remote:
+            batch, remote = outcome
+            tracer.attach_remote(remote)
+        else:
+            batch = outcome
         for index, violations in zip(chunk, batch):
             results[index] = _reintern_constraint(violations, constraints[index])
     return results  # type: ignore[return-value]

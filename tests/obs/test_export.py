@@ -1,0 +1,170 @@
+"""Unit tests for the trace exporters (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs import (
+    Span,
+    Trace,
+    Tracer,
+    chrome_trace,
+    format_summary,
+    load_trace,
+    render_tree,
+    summarize_trace,
+    trace_from_chrome,
+    write_trace,
+)
+
+
+@pytest.fixture
+def sample_trace():
+    """A realistic little trace: pipeline root, stages, worker row."""
+    tracer = Tracer()
+    # The sleeps keep every span comfortably above the exporter's
+    # microsecond resolution, so containment stacking is unambiguous.
+    with tracer.span("repair", category="pipeline", algorithm="greedy"):
+        with tracer.span("detect", category="stage"):
+            with tracer.span("detect:ic1", category="detect", violations=2):
+                time.sleep(0.002)
+        with tracer.span("solve", category="stage"):
+            with tracer.span("solve:greedy", category="solver"):
+                time.sleep(0.002)
+    tracer.metrics.counter("violations_found", constraint="ic1").inc(2)
+    tracer.metrics.gauge("inconsistency_degree").set_max(1)
+    return tracer.finish()
+
+
+class TestChromeRoundTrip:
+    def test_event_schema(self, sample_trace):
+        data = chrome_trace(sample_trace)
+        events = data["traceEvents"]
+        assert len(events) == 5
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 0
+            assert "cpu_us" in event["args"]
+        root = next(e for e in events if e["name"] == "repair")
+        assert root["cat"] == "pipeline"
+        assert root["args"]["algorithm"] == "greedy"
+        assert data["otherData"]["metrics"]["counters"]
+
+    def test_round_trip_preserves_tree(self, sample_trace):
+        rebuilt = trace_from_chrome(chrome_trace(sample_trace))
+        assert [s.name for s in rebuilt.spans()] == [
+            s.name for s in sample_trace.spans()
+        ]
+        root = rebuilt.roots[0]
+        assert root.name == "repair"
+        assert [c.name for c in root.children] == ["detect", "solve"]
+        assert root.children[0].children[0].tags["violations"] == 2
+        assert rebuilt.metrics == sample_trace.metrics
+
+    def test_round_trip_keeps_timing_within_microsecond(self, sample_trace):
+        rebuilt = trace_from_chrome(chrome_trace(sample_trace))
+        for original, copy in zip(sample_trace.spans(), rebuilt.spans()):
+            assert copy.start == pytest.approx(original.start, abs=2e-6)
+            assert copy.duration == pytest.approx(original.duration, abs=2e-6)
+
+    def test_round_trip_survives_json(self, sample_trace):
+        payload = json.loads(json.dumps(chrome_trace(sample_trace)))
+        rebuilt = trace_from_chrome(payload)
+        assert len(rebuilt) == len(sample_trace)
+
+    def test_separate_pid_rows_become_separate_roots(self, sample_trace):
+        data = chrome_trace(sample_trace)
+        worker_event = {
+            "name": "solve:greedy",
+            "cat": "solver",
+            "ph": "X",
+            "ts": 0,
+            "dur": 10,
+            "pid": 99999,
+            "tid": 1,
+            "args": {"cpu_us": 5},
+        }
+        data["traceEvents"].append(worker_event)
+        rebuilt = trace_from_chrome(data)
+        assert len(rebuilt.roots) == 2
+
+    def test_rejects_non_chrome_payload(self):
+        with pytest.raises(ReproError):
+            trace_from_chrome({"foo": "bar"})
+
+
+class TestSummaryAndTree:
+    def test_summarize_aggregates_by_name(self, sample_trace):
+        rows = summarize_trace(sample_trace)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["repair"]["count"] == 1
+        assert by_name["repair"]["share"] == pytest.approx(1.0)
+        assert set(by_name) == {
+            "repair", "detect", "detect:ic1", "solve", "solve:greedy",
+        }
+        walls = [row["wall_seconds"] for row in rows]
+        assert walls == sorted(walls, reverse=True)
+
+    def test_format_summary_table(self, sample_trace):
+        text = format_summary(sample_trace)
+        assert "span" in text and "share" in text
+        assert "solve:greedy" in text
+        assert format_summary(Trace(roots=())) == "(empty trace)"
+
+    def test_render_tree_shows_stages_and_metrics(self, sample_trace):
+        text = render_tree(sample_trace)
+        assert "repair" in text and "detect:ic1" in text
+        assert "violations=2" in text
+        assert "metrics:" in text
+        assert "inconsistency_degree" in text and "(gauge)" in text
+
+    def test_render_tree_elides_long_sibling_lists(self):
+        children = []
+        for i in range(20):
+            child = Span.from_dict(
+                {"name": f"c{i}", "start": float(i), "duration": 1.0}
+            )
+            children.append(child)
+        root = Span.from_dict({"name": "root", "start": 0.0, "duration": 30.0})
+        root.children = children
+        text = render_tree(Trace(roots=[root]), max_children=5)
+        assert "c4" in text and "c5" not in text
+        assert "15 more span(s)" in text
+
+
+class TestTraceFiles:
+    @pytest.mark.parametrize("format", ["chrome", "json"])
+    def test_write_then_load(self, tmp_path, sample_trace, format):
+        path = write_trace(sample_trace, tmp_path / "t.json", format)
+        loaded = load_trace(path)
+        assert len(loaded) == len(sample_trace)
+        assert loaded.find("solve:greedy") is not None
+
+    def test_write_tree_format_is_text(self, tmp_path, sample_trace):
+        path = write_trace(sample_trace, tmp_path / "t.txt", "tree")
+        assert "repair" in path.read_text()
+
+    def test_write_unknown_format(self, tmp_path, sample_trace):
+        with pytest.raises(ReproError):
+            write_trace(sample_trace, tmp_path / "t", "xml")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_trace(tmp_path / "absent.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ReproError):
+            load_trace(path)
+
+    def test_load_unrecognized_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ReproError):
+            load_trace(path)

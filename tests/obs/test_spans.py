@@ -1,0 +1,170 @@
+"""Unit tests for the Span/Trace data model (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.obs import Span, Trace
+from repro.obs.spans import _clamp_into
+
+
+def make_span(name, start, duration, children=(), **tags):
+    """A closed span at an explicit position (bypasses the live clocks)."""
+    span = Span.from_dict(
+        {
+            "name": name,
+            "start": start,
+            "duration": duration,
+            "cpu": duration / 2,
+            "children": [],
+            "tags": dict(tags),
+        }
+    )
+    span.children = list(children)
+    return span
+
+
+class TestSpanLifecycle:
+    def test_open_then_closed(self):
+        span = Span("work")
+        assert not span.closed
+        assert span.duration is None
+        time.sleep(0.002)
+        span.close()
+        assert span.closed
+        assert span.duration >= 0.002
+        assert span.cpu is not None and span.cpu >= 0.0
+
+    def test_close_is_idempotent(self):
+        span = Span("work")
+        span.close()
+        first = span.duration
+        time.sleep(0.002)
+        span.close()
+        assert span.duration == first
+
+    def test_end_of_closed_span(self):
+        span = make_span("s", start=100.0, duration=2.5)
+        assert span.end == pytest.approx(102.5)
+
+    def test_tag_returns_self_and_overwrites(self):
+        span = Span("s", tags={"a": 1})
+        assert span.tag(a=2, b="x") is span
+        assert span.tags == {"a": 2, "b": "x"}
+
+    def test_nested_timing_invariant(self):
+        """A live parent/child pair obeys the containment invariants."""
+        parent = Span("parent")
+        time.sleep(0.001)
+        child = Span("child")
+        time.sleep(0.001)
+        child.close()
+        parent.children.append(child)
+        time.sleep(0.001)
+        parent.close()
+        assert child.start >= parent.start
+        assert child.end <= parent.end
+        assert 0 <= child.duration <= parent.duration
+
+
+class TestClamping:
+    def test_child_outside_window_is_clamped(self):
+        child = make_span("child", start=0.0, duration=10.0)
+        parent = make_span("parent", start=2.0, duration=3.0, children=[child])
+        parent.clamp_children()
+        assert child.start == pytest.approx(2.0)
+        assert child.end <= parent.end + 1e-12
+        assert child.duration >= 0.0
+
+    def test_clamp_is_recursive(self):
+        grandchild = make_span("g", start=-5.0, duration=100.0)
+        child = make_span("c", start=0.0, duration=10.0, children=[grandchild])
+        parent = make_span("p", start=1.0, duration=2.0, children=[child])
+        parent.clamp_children()
+        for span in parent.walk():
+            assert span.start >= parent.start - 1e-12
+            assert span.end <= parent.end + 1e-12
+            assert span.duration >= 0.0
+
+    def test_clamp_closes_open_children(self):
+        child = Span("open-child")
+        assert not child.closed
+        parent = make_span("p", start=child.start - 1.0, duration=5.0)
+        parent.children.append(child)
+        parent.clamp_children()
+        assert child.closed
+        assert child.duration >= 0.0
+
+    def test_clamp_into_degenerate_window(self):
+        span = make_span("s", start=5.0, duration=1.0)
+        _clamp_into(span, 2.0, 2.0)
+        assert span.start == pytest.approx(2.0)
+        assert span.duration == pytest.approx(0.0)
+
+
+class TestSpanSerialization:
+    def test_dict_round_trip(self):
+        child = make_span("c", start=1.5, duration=0.5, engine="kernel")
+        root = make_span("r", start=1.0, duration=2.0, children=[child])
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.name == "r"
+        assert rebuilt.start == pytest.approx(1.0)
+        assert [c.name for c in rebuilt.children] == ["c"]
+        assert rebuilt.children[0].tags == {"engine": "kernel"}
+        assert rebuilt.to_dict() == root.to_dict()
+
+    def test_pickle_round_trip(self):
+        child = make_span("c", start=1.5, duration=0.5, n=3)
+        root = make_span("r", start=1.0, duration=2.0, children=[child])
+        rebuilt = pickle.loads(pickle.dumps(root))
+        assert rebuilt.to_dict() == root.to_dict()
+
+    def test_pickling_open_span_does_not_crash(self):
+        # Workers should only ship closed spans, but an open one must at
+        # least survive the boundary (duration collapses to 0.0).
+        span = Span("open")
+        rebuilt = pickle.loads(pickle.dumps(span))
+        assert rebuilt.duration == 0.0
+
+    def test_walk_and_find(self):
+        leaf = make_span("leaf", start=0.2, duration=0.1)
+        mid = make_span("mid", start=0.1, duration=0.5, children=[leaf])
+        root = make_span("root", start=0.0, duration=1.0, children=[mid])
+        assert [s.name for s in root.walk()] == ["root", "mid", "leaf"]
+        assert root.find("leaf") is leaf
+        assert root.find("missing") is None
+
+
+class TestTrace:
+    def _trace(self):
+        stages = [
+            make_span("detect", 0.0, 0.3),
+            make_span("solve", 0.3, 0.6),
+        ]
+        for stage in stages:
+            stage.category = "stage"
+        root = make_span("repair", 0.0, 1.0, children=stages)
+        return Trace(roots=[root], metrics={"counters": [], "gauges": []})
+
+    def test_len_and_spans(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert [s.name for s in trace.spans()] == ["repair", "detect", "solve"]
+
+    def test_stage_seconds_view(self):
+        trace = self._trace()
+        assert trace.stage_seconds() == {
+            "detect": pytest.approx(0.3),
+            "solve": pytest.approx(0.6),
+        }
+        assert trace.stage_seconds("missing-root") == {}
+
+    def test_dict_round_trip(self):
+        trace = self._trace()
+        data = trace.to_dict()
+        assert data["format"] == "repro-trace"
+        rebuilt = Trace.from_dict(data)
+        assert rebuilt.to_dict() == data
