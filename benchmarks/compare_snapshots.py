@@ -1,0 +1,116 @@
+"""Diff committed ``BENCH_*.json`` snapshots against a fresh run.
+
+The repo commits quick-mode benchmark snapshots under
+``benchmarks/results/`` so the perf trajectory lives in-tree; CI
+re-runs the same quick-mode benches into a scratch directory and calls
+
+    python benchmarks/compare_snapshots.py \
+        --committed benchmarks/results --fresh /tmp/bench-fresh
+
+Raw seconds are machine-bound, so only the *speedup ratios* are gated:
+every numeric leaf under a ``speedups`` section whose key path ends in
+``speedup`` is compared, and the check fails when a fresh ratio drops
+below ``(1 - tolerance)`` of the committed one (default tolerance 0.25,
+i.e. fail on a >25% regression).  Snapshots missing on either side are
+reported but never fail the check (a bench leg may be skipped when
+optional deps are absent).
+
+Exit codes: 0 = no regression, 1 = regression, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def speedup_leaves(payload, path=()):
+    """Yield ``(dotted.path, value)`` for numeric ``*speedup*`` leaves."""
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            yield from speedup_leaves(value, path + (str(key),))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        if path and path[-1].endswith("speedup"):
+            yield ".".join(path), float(payload)
+
+
+def load_speedups(path: Path) -> dict[str, float]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return dict(speedup_leaves(payload.get("speedups", {})))
+
+
+def compare_file(name: str, committed: Path, fresh: Path, tolerance: float):
+    """Compare one snapshot pair; returns (lines, regressed)."""
+    lines = [f"== {name} =="]
+    regressed = False
+    baseline = load_speedups(committed)
+    current = load_speedups(fresh)
+    if not baseline:
+        lines.append("  no gated speedups in committed snapshot")
+        return lines, regressed
+    for key, committed_value in sorted(baseline.items()):
+        fresh_value = current.get(key)
+        if fresh_value is None:
+            lines.append(f"  {key}: {committed_value:.2f}x -> missing (skipped)")
+            continue
+        floor = committed_value * (1.0 - tolerance)
+        verdict = "ok" if fresh_value >= floor else "REGRESSION"
+        regressed = regressed or fresh_value < floor
+        lines.append(
+            f"  {key}: {committed_value:.2f}x -> {fresh_value:.2f}x "
+            f"(floor {floor:.2f}x) {verdict}"
+        )
+    return lines, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate committed benchmark snapshots against a fresh run."
+    )
+    parser.add_argument(
+        "--committed",
+        default=str(Path(__file__).parent / "results"),
+        help="directory with the committed BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="directory with the fresh quick-mode run"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop of any speedup ratio (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    committed_dir, fresh_dir = Path(args.committed), Path(args.fresh)
+    if not committed_dir.is_dir():
+        print(f"error: no committed snapshot dir {committed_dir}", file=sys.stderr)
+        return 2
+    if not fresh_dir.is_dir():
+        print(f"error: no fresh results dir {fresh_dir}", file=sys.stderr)
+        return 2
+
+    regressed = False
+    compared = 0
+    for committed_path in sorted(committed_dir.glob("BENCH_*.json")):
+        fresh_path = fresh_dir / committed_path.name
+        if not fresh_path.exists():
+            print(f"== {committed_path.name} ==\n  not in fresh run (skipped)")
+            continue
+        lines, bad = compare_file(
+            committed_path.name, committed_path, fresh_path, args.tolerance
+        )
+        print("\n".join(lines))
+        compared += 1
+        regressed = regressed or bad
+    if not compared:
+        print("error: no snapshot pairs to compare", file=sys.stderr)
+        return 2
+    print("result: " + ("REGRESSION" if regressed else "ok"))
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,7 @@ def cardinality_repair(
     parallel=None,
     max_workers: int | None = None,
     engine: str = "auto",
+    solver_engine: str = "auto",
     trace: "bool | Tracer" = False,
 ) -> DeletionRepairResult:
     """Approximate a minimum-cardinality tuple-deletion repair.
@@ -83,10 +84,11 @@ def cardinality_repair(
     table_weights:
         Per-relation deletion weights ``α_{δ_R}`` (default 1.0): deletions
         from lighter tables are preferred.
-    parallel, max_workers, engine:
+    parallel, max_workers, engine, solver_engine:
         Forwarded to :func:`repro.repair.engine.repair_database` - the
         transformed instance ``D#`` decomposes, fans out, and picks its
-        detection engine exactly like a direct attribute-update repair.
+        detection and solver engines exactly like a direct
+        attribute-update repair.
     trace:
         ``True`` records the whole run - a ``cardinality-repair`` root
         span with ``transform`` and ``project`` stages around the nested
@@ -118,6 +120,7 @@ def cardinality_repair(
             parallel=parallel,
             max_workers=max_workers,
             engine=engine,
+            solver_engine=solver_engine,
             # Pass the tracer object (not True): the inner repair nests
             # into this trace instead of starting its own.
             trace=tracer if tracer.enabled else False,

@@ -22,6 +22,8 @@ key                         type     meaning
 ``detect_workers``          int      workers used by the detect stage
 ``solve_workers``           int      workers used by the solve stage
 ``detection_engine``        str      ``kernel`` / ``interpreted``
+``solver_engine``           str      ``flat`` / ``object``
+``incidence``               int      flat engine: CSR incidence size (nnz)
 ==========================  =======  =====================================
 
 Unknown keys pass through unchanged (solvers may add new counters before
@@ -50,11 +52,12 @@ COUNT_KEYS = frozenset(
         "runtime_workers",
         "detect_workers",
         "solve_workers",
+        "incidence",
     }
 )
 
 #: Keys whose values are labels and therefore ``str``.
-LABEL_KEYS = frozenset({"runtime_backend", "detection_engine"})
+LABEL_KEYS = frozenset({"runtime_backend", "detection_engine", "solver_engine"})
 
 
 def normalize_solver_stats(stats: Mapping[str, Any]) -> dict[str, Any]:

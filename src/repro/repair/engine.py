@@ -39,7 +39,12 @@ from repro.repair.builder import RepairProblem, build_repair_problem
 from repro.repair.result import RepairResult
 from repro.runtime.executor import ExecutionPolicy, Executor
 from repro.setcover.decompose import solve_by_components
-from repro.setcover.solvers import DEFAULT_SOLVER, component_solver, get_solver
+from repro.setcover.solvers import (
+    DEFAULT_SOLVER,
+    component_solver,
+    get_solver,
+    resolve_solver_engine,
+)
 from repro.violations.detector import ViolationSet, find_all_violations, is_consistent
 from repro.violations.kernels import resolve_engine
 
@@ -77,6 +82,7 @@ def repair_database(
     parallel: "bool | str | ExecutionPolicy | None" = None,
     max_workers: int | None = None,
     engine: str = "auto",
+    solver_engine: str = "auto",
     preflight: bool = False,
     trace: "bool | Tracer" = False,
 ) -> RepairResult:
@@ -124,6 +130,11 @@ def repair_database(
         ``kernel``, or ``interpreted``.  Both engines yield
         byte-identical violations, hence identical repairs; the choice
         also applies to post-repair verification.
+    solver_engine:
+        Set-cover solver engine: ``auto`` (default; the flat CSR/bitset
+        core of :mod:`repro.setcover.flat`), ``flat``, or ``object``
+        (the per-``WeightedSet`` reference solvers).  Both engines
+        return byte-identical covers, hence identical repairs.
     preflight:
         Run the static constraint analyzer (:mod:`repro.lint`) first and
         raise :class:`~repro.exceptions.LintError` - with the full
@@ -165,6 +176,7 @@ def repair_database(
 
         constraints = simplify_constraints(constraints)
     metric = get_metric(metric)
+    solver_engine = resolve_solver_engine(solver_engine)
     policy = ExecutionPolicy.resolve(parallel, max_workers)
     # Any explicit parallel request (even one that resolves to a single
     # worker) routes solving through the component decomposition, so the
@@ -184,6 +196,7 @@ def repair_database(
                 category="pipeline",
                 algorithm=str(algorithm),
                 engine=resolve_engine(engine),
+                solver_engine=solver_engine,
                 backend=executor.backend if decomposed else "serial",
                 tuples=len(instance),
                 constraints=len(constraints),
@@ -264,7 +277,9 @@ def repair_database(
         solve_workers = 1
         with tracer.span("solve", category="stage", anchor=True) as solve_span:
             if decomposed:
-                solver, max_elements, fallback = component_solver(algorithm)
+                solver, max_elements, fallback = component_solver(
+                    algorithm, solver_engine
+                )
                 if executor.is_parallel:
                     solve_workers = executor.workers
                 cover = solve_by_components(
@@ -275,7 +290,7 @@ def repair_database(
                     executor=executor,
                 )
             else:
-                cover = get_solver(algorithm)(problem.setcover)
+                cover = get_solver(algorithm, solver_engine)(problem.setcover)
             solve_span.tag(
                 weight=cover.weight,
                 selected=len(cover.selected),
@@ -309,6 +324,10 @@ def repair_database(
 
         solver_stats = dict(cover.stats)
         solver_stats["detection_engine"] = resolve_engine(engine)
+        # Flat-engine covers stamp themselves; anything else (including a
+        # flat request served by an object-only solver like lp-rounding)
+        # ran the object code path.
+        solver_stats.setdefault("solver_engine", "object")
         if decomposed:
             solver_stats["runtime_backend"] = executor.backend
             solver_stats["runtime_workers"] = executor.workers
@@ -355,18 +374,21 @@ def repair_problem_cover(
     algorithm: str = DEFAULT_SOLVER,
     parallel: "bool | str | ExecutionPolicy | None" = None,
     max_workers: int | None = None,
+    solver_engine: str = "auto",
 ):
     """Solve a prebuilt repair problem; exposed for the benchmark harness.
 
     The Figure-3 benchmark times *only* the MWSCP solver component (as the
     paper does), so it builds the problem once and calls this repeatedly.
     ``parallel``/``max_workers`` select the component-decomposed parallel
-    path, mirroring :func:`repair_database`.
+    path, mirroring :func:`repair_database`; ``solver_engine`` selects the
+    flat or object solver family.
     """
+    solver_engine = resolve_solver_engine(solver_engine)
     policy = ExecutionPolicy.resolve(parallel, max_workers)
     if policy.backend == "serial":
-        return get_solver(algorithm)(problem.setcover)
-    solver, max_elements, fallback = component_solver(algorithm)
+        return get_solver(algorithm, solver_engine)(problem.setcover)
+    solver, max_elements, fallback = component_solver(algorithm, solver_engine)
     return solve_by_components(
         problem.setcover,
         solver,

@@ -40,7 +40,12 @@ from repro.repair.apply import apply_cover
 from repro.repair.result import RepairResult
 from repro.runtime.executor import ExecutionPolicy, Executor
 from repro.setcover.decompose import solve_by_components
-from repro.setcover.solvers import DEFAULT_SOLVER, component_solver, get_solver
+from repro.setcover.solvers import (
+    DEFAULT_SOLVER,
+    component_solver,
+    get_solver,
+    resolve_solver_engine,
+)
 from repro.violations.detector import (
     find_all_violations,
     find_violations_involving,
@@ -66,6 +71,7 @@ class IncrementalRepairer:
         parallel: "bool | str | ExecutionPolicy | None" = None,
         max_workers: int | None = None,
         engine: str = "auto",
+        solver_engine: str = "auto",
         trace: "bool | Tracer" = False,
     ) -> None:
         # One tracer observes the repairer's whole lifetime: every commit
@@ -83,6 +89,7 @@ class IncrementalRepairer:
         # path there (a per-commit columnar snapshot rebuild would cost
         # O(|D|)).  ``engine="kernel"`` forces the kernel everywhere.
         self._engine = engine
+        self._solver_engine = resolve_solver_engine(solver_engine)
         # Anchored detection is dominated by hash lookups against the
         # shared join-index cache, which a process pool cannot see - so
         # ``parallel=True`` resolves to threads here, keeping the cache
@@ -281,8 +288,10 @@ class IncrementalRepairer:
         match batch-parallel repairs of the same state, byte for byte.
         """
         if self._policy.backend == "serial":
-            return get_solver(self._algorithm)(setcover)
-        solver, max_elements, fallback = component_solver(self._algorithm)
+            return get_solver(self._algorithm, self._solver_engine)(setcover)
+        solver, max_elements, fallback = component_solver(
+            self._algorithm, self._solver_engine
+        )
         return solve_by_components(
             setcover,
             solver,

@@ -46,12 +46,19 @@ SolverToken = "str | Callable[[SetCoverInstance], Cover]"
 
 
 def solver_token(solver: Callable) -> "str | Callable":
-    """Prefer the registry name over pickling the callable itself."""
-    from repro.setcover.solvers import SOLVERS
+    """Prefer the registry name over pickling the callable itself.
+
+    Flat-engine solvers travel as ``"flat:<name>"`` so the worker process
+    resolves the same engine it would have run in-process.
+    """
+    from repro.setcover.solvers import FLAT_SOLVERS, SOLVERS
 
     for name, registered in SOLVERS.items():
         if registered is solver:
             return name
+    for name, registered in FLAT_SOLVERS.items():
+        if registered is solver:
+            return f"flat:{name}"
     return solver
 
 
@@ -59,6 +66,8 @@ def resolve_solver(token: "str | Callable") -> Callable:
     """Inverse of :func:`solver_token` (runs inside the worker process)."""
     from repro.setcover.solvers import get_solver
 
+    if isinstance(token, str) and token.startswith("flat:"):
+        return get_solver(token[5:], engine="flat")
     return get_solver(token)
 
 

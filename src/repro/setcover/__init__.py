@@ -15,6 +15,16 @@ from repro.setcover.greedy import greedy_cover
 from repro.setcover.modified_greedy import modified_greedy_cover
 from repro.setcover.layer import layer_cover, modified_layer_cover
 from repro.setcover.exact import exact_cover
+from repro.setcover.flat import (
+    ENGINE_STAT_KEYS,
+    FlatSetCover,
+    flat_exact_cover,
+    flat_greedy_cover,
+    flat_layer_cover,
+    flat_modified_greedy_cover,
+    flat_modified_layer_cover,
+    strip_engine_stats,
+)
 from repro.setcover.decompose import (
     Component,
     component_size_histogram,
@@ -23,10 +33,13 @@ from repro.setcover.decompose import (
 )
 from repro.setcover.verify import is_cover, cover_weight, minimize_cover
 from repro.setcover.solvers import (
+    FLAT_SOLVERS,
+    SOLVER_ENGINES,
     SOLVERS,
     Cover,
     exact_decomposed_cover,
     get_solver,
+    resolve_solver_engine,
 )
 
 __all__ = [
@@ -39,6 +52,17 @@ __all__ = [
     "modified_layer_cover",
     "exact_cover",
     "exact_decomposed_cover",
+    "FlatSetCover",
+    "ENGINE_STAT_KEYS",
+    "strip_engine_stats",
+    "flat_greedy_cover",
+    "flat_modified_greedy_cover",
+    "flat_layer_cover",
+    "flat_modified_layer_cover",
+    "flat_exact_cover",
+    "FLAT_SOLVERS",
+    "SOLVER_ENGINES",
+    "resolve_solver_engine",
     "Component",
     "component_size_histogram",
     "decompose",

@@ -106,7 +106,11 @@ def decompose(instance: SetCoverInstance) -> tuple[Component, ...]:
 
 
 def _solver_name(solver: Callable[[SetCoverInstance], Cover]) -> str:
-    return getattr(solver, "__name__", "solver")
+    # Flat-engine twins are named ``flat_<object name>``; the prefix is
+    # stripped so decomposed covers carry the same ``algorithm`` label on
+    # both engines (the funnel compares labels, stats carry the engine).
+    name = getattr(solver, "__name__", "solver")
+    return name[5:] if name.startswith("flat_") else name
 
 
 def _solve_components_parallel(
@@ -222,7 +226,8 @@ def solve_by_components(
     selected: list[int] = []
     total_weight = 0.0
     iterations = 0
-    merged_stats: dict[str, "int | float"] = {}
+    merged_stats: dict[str, "int | float | str"] = {}
+    label_stats: dict[str, list[str]] = {}
     for component, (local_selected, weight, local_iterations, stats) in zip(
         components, results
     ):
@@ -230,6 +235,11 @@ def solve_by_components(
         total_weight += weight
         iterations += local_iterations
         for key, value in stats.items():
+            if isinstance(value, str):
+                # Label stats (e.g. ``solver_engine``) cannot be summed;
+                # they survive the merge when every component agrees.
+                label_stats.setdefault(key, []).append(value)
+                continue
             # Int counts stay int (see repro.obs.stats for the schema);
             # any float contribution makes the sum float.
             if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -238,6 +248,9 @@ def solve_by_components(
                 except (TypeError, ValueError):
                     continue  # non-numeric solver stat: nothing sensible to merge
             merged_stats[key] = merged_stats.get(key, 0) + value
+    for key, values in label_stats.items():
+        if len(values) == len(components) and all(v == values[0] for v in values):
+            merged_stats[key] = values[0]
 
     label = _solver_name(solver)
     if oversized:

@@ -62,7 +62,11 @@ def exact_cover(
     nodes = 0
 
     def lower_bound() -> float:
-        return sum(min_rate[e] for e in uncovered)
+        # Summed in ascending element order: float addition is not
+        # associative, and the flat (bitset) exact solver must reproduce
+        # the same bound - and hence the same pruning decisions - bit
+        # for bit.
+        return sum(min_rate[e] for e in sorted(uncovered))
 
     def branch(current_weight: float) -> None:
         nonlocal best_weight, best_selection, nodes
@@ -74,8 +78,9 @@ def exact_cover(
             return
         if current_weight + lower_bound() >= best_weight - 1e-12:
             return
-        # Fail-first: element with fewest candidate sets.
-        element = min(uncovered, key=lambda e: len(element_to_sets[e]))
+        # Fail-first: element with fewest candidate sets (id tie-break,
+        # so the branching order does not depend on set iteration order).
+        element = min(uncovered, key=lambda e: (len(element_to_sets[e]), e))
         candidates = sorted(
             element_to_sets[element], key=lambda s: (sets[s].weight, s)
         )

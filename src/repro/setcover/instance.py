@@ -61,7 +61,15 @@ class SetCoverInstance:
             raise SetCoverError(f"n_elements must be >= 0, got {n_elements}")
         self.n_elements = n_elements
         self.sets: tuple[WeightedSet, ...] = tuple(sets)
+        seen_ids: set[int] = set()
         for index, weighted_set in enumerate(self.sets):
+            if weighted_set.set_id in seen_ids:
+                raise SetCoverError(
+                    f"duplicate set id {weighted_set.set_id}: set ids must "
+                    "be unique (duplicate *contents* under distinct ids are "
+                    "fine)"
+                )
+            seen_ids.add(weighted_set.set_id)
             if weighted_set.set_id != index:
                 raise SetCoverError(
                     f"set ids must be consecutive: expected {index}, "
@@ -74,6 +82,7 @@ class SetCoverInstance:
                         f"universe of size {n_elements}"
                     )
         self._element_to_sets: tuple[tuple[int, ...], ...] | None = None
+        self._flat: Any = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -119,6 +128,18 @@ class SetCoverInstance:
         candidate fixes).
         """
         return max((len(a) for a in self.element_to_sets), default=0)
+
+    def flat(self) -> Any:
+        """The cached :class:`~repro.setcover.flat.FlatSetCover` view.
+
+        Built on first use and shared by every flat-engine solver run on
+        this instance, so the CSR incidence construction is paid once.
+        """
+        if self._flat is None:
+            from repro.setcover.flat import FlatSetCover
+
+            self._flat = FlatSetCover(self)
+        return self._flat
 
     def check_coverable(self) -> None:
         """Raise :class:`UncoverableError` when some element is in no set."""

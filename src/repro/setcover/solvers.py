@@ -15,6 +15,15 @@ name                      algorithm
 ``exact-decomposed``      exact per connected component, greedy fallback
 ``lp-rounding``           LP relaxation + frequency rounding (needs scipy)
 ========================  =====================================================
+
+Every algorithm additionally exists on two **engines**: the ``object``
+engine (the per-``WeightedSet`` reference implementations above) and the
+``flat`` engine (:mod:`repro.setcover.flat` - CSR incidence arrays,
+bitsets, lazy-decrease queues).  Both return byte-identical covers; the
+flat engine is near-linear in total incidence and is what ``auto``
+resolves to.  :func:`get_solver` / :func:`component_solver` take the
+engine as a keyword (default ``object``, the historical behaviour);
+:func:`resolve_solver_engine` validates the config/CLI spelling.
 """
 
 from __future__ import annotations
@@ -24,6 +33,13 @@ from typing import Callable, Mapping
 from repro.exceptions import SetCoverError
 from repro.setcover.decompose import solve_by_components
 from repro.setcover.exact import exact_cover
+from repro.setcover.flat import (
+    flat_exact_cover,
+    flat_greedy_cover,
+    flat_layer_cover,
+    flat_modified_greedy_cover,
+    flat_modified_layer_cover,
+)
 from repro.setcover.greedy import greedy_cover
 from repro.setcover.instance import SetCoverInstance
 from repro.setcover.layer import layer_cover, modified_layer_cover
@@ -31,6 +47,25 @@ from repro.setcover.modified_greedy import modified_greedy_cover
 from repro.setcover.result import Cover
 
 Solver = Callable[[SetCoverInstance], Cover]
+
+#: Valid solver-engine spellings (config ``runtime.solver_engine``,
+#: CLI ``--solver-engine``), mirroring the detection-engine switch.
+SOLVER_ENGINES = ("auto", "flat", "object")
+
+
+def resolve_solver_engine(engine: str = "auto") -> str:
+    """Validate an engine spelling and resolve ``auto``.
+
+    ``auto`` always resolves to ``flat``: the pure-Python flat baseline
+    needs no optional dependency (NumPy merely accelerates the incidence
+    build under the ``[kernel]`` extra), and it dominates the object
+    engine at every scale.
+    """
+    if engine not in SOLVER_ENGINES:
+        raise SetCoverError(
+            f"unknown solver engine {engine!r}; choose from {SOLVER_ENGINES}"
+        )
+    return "flat" if engine == "auto" else engine
 
 
 def exact_decomposed_cover(instance: SetCoverInstance) -> Cover:
@@ -78,6 +113,32 @@ def layer_pruned_cover(instance: SetCoverInstance) -> Cover:
     return minimize_cover(instance, modified_layer_cover(instance))
 
 
+def flat_exact_decomposed_cover(instance: SetCoverInstance) -> Cover:
+    """``exact-decomposed`` on the flat engine (same policy, flat solvers)."""
+    from repro.setcover.exact import MAX_EXACT_ELEMENTS
+
+    return solve_by_components(
+        instance,
+        flat_exact_cover,
+        max_component_elements=MAX_EXACT_ELEMENTS,
+        fallback=flat_modified_greedy_cover,
+    )
+
+
+def flat_greedy_pruned_cover(instance: SetCoverInstance) -> Cover:
+    """``greedy+prune`` on the flat engine."""
+    from repro.setcover.verify import minimize_cover
+
+    return minimize_cover(instance, flat_modified_greedy_cover(instance))
+
+
+def flat_layer_pruned_cover(instance: SetCoverInstance) -> Cover:
+    """``layer+prune`` on the flat engine."""
+    from repro.setcover.verify import minimize_cover
+
+    return minimize_cover(instance, flat_modified_layer_cover(instance))
+
+
 SOLVERS: Mapping[str, Solver] = {
     "greedy": greedy_cover,
     "modified-greedy": modified_greedy_cover,
@@ -90,12 +151,27 @@ SOLVERS: Mapping[str, Solver] = {
     "layer+prune": layer_pruned_cover,
 }
 
+#: Flat-engine twins, keyed like :data:`SOLVERS`.  ``lp-rounding`` has no
+#: flat implementation (it is scipy-bound, not incidence-bound) and falls
+#: back to the object path.
+FLAT_SOLVERS: Mapping[str, Solver] = {
+    "greedy": flat_greedy_cover,
+    "modified-greedy": flat_modified_greedy_cover,
+    "layer": flat_layer_cover,
+    "modified-layer": flat_modified_layer_cover,
+    "exact": flat_exact_cover,
+    "exact-decomposed": flat_exact_decomposed_cover,
+    "greedy+prune": flat_greedy_pruned_cover,
+    "layer+prune": flat_layer_pruned_cover,
+}
+
 #: The paper's recommended default (fastest, same quality as greedy).
 DEFAULT_SOLVER = "modified-greedy"
 
 
 def component_solver(
     name: str | Solver,
+    engine: str = "object",
 ) -> tuple[Solver, int | None, Solver | None]:
     """Per-component solving policy for a registry algorithm.
 
@@ -105,21 +181,36 @@ def component_solver(
     itself a decomposition wrapper, so it unwraps to the exact solver with
     its size limit and greedy fallback instead of decomposing twice.
     """
-    solver = get_solver(name)
+    solver = get_solver(name, engine)
     if solver is exact_decomposed_cover:
         from repro.setcover.exact import MAX_EXACT_ELEMENTS
 
         return exact_cover, MAX_EXACT_ELEMENTS, modified_greedy_cover
+    if solver is flat_exact_decomposed_cover:
+        from repro.setcover.exact import MAX_EXACT_ELEMENTS
+
+        return flat_exact_cover, MAX_EXACT_ELEMENTS, flat_modified_greedy_cover
     return solver, None, None
 
 
-def get_solver(name: str | Solver) -> Solver:
-    """Resolve a solver by registry name (or pass a callable through)."""
+def get_solver(name: str | Solver, engine: str = "object") -> Solver:
+    """Resolve a solver by registry name (or pass a callable through).
+
+    ``engine`` selects the implementation family: ``object`` (default,
+    the historical per-``WeightedSet`` solvers), ``flat`` (the CSR/bitset
+    core), or ``auto`` (currently ``flat``).  Callables pass through
+    unchanged regardless of engine; names without a flat twin
+    (``lp-rounding``) resolve to the object solver on every engine.
+    """
     if callable(name):
         return name
+    key = name.lower()
     try:
-        return SOLVERS[name.lower()]
+        solver = SOLVERS[key]
     except KeyError:
         raise SetCoverError(
             f"unknown set-cover algorithm {name!r}; choose from {sorted(SOLVERS)}"
         ) from None
+    if resolve_solver_engine(engine) == "flat":
+        return FLAT_SOLVERS.get(key, solver)
+    return solver

@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
         "is available; results are identical either way)",
     )
     parser.add_argument(
+        "--solver-engine",
+        choices=["auto", "flat", "object"],
+        help="override the set-cover solver engine: the flat CSR/bitset "
+        "core, the per-object reference solvers, or auto (flat; results "
+        "are identical either way)",
+    )
+    parser.add_argument(
         "--profile-only",
         action="store_true",
         help="print the inconsistency profile and exit without repairing",
@@ -133,6 +140,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             overrides["runtime_workers"] = args.max_workers
         if args.engine:
             overrides["detection_engine"] = args.engine
+        if args.solver_engine:
+            overrides["solver_engine"] = args.solver_engine
         if args.trace or args.trace_out or args.trace_format:
             overrides["trace_enabled"] = True
         if args.trace_out:

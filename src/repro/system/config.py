@@ -25,7 +25,8 @@ into text file)."*  We use JSON::
       "algorithm": "modified-greedy",
       "metric": "l1",
       "violation_detection": "memory",
-      "runtime": {"backend": "process", "max_workers": 4, "engine": "auto"},
+      "runtime": {"backend": "process", "max_workers": 4, "engine": "auto",
+                  "solver_engine": "auto"},
       "source": {"backend": "sqlite", "path": "clients.db"},
       "export": {"mode": "update"}
     }
@@ -67,7 +68,7 @@ from repro.exceptions import ConfigError, ConstraintParseError, SchemaError
 from repro.fixes.distance import get_metric
 from repro.model.schema import Attribute, AttributeRole, Relation, Schema
 from repro.runtime.executor import BACKENDS, ExecutionPolicy
-from repro.setcover.solvers import SOLVERS
+from repro.setcover.solvers import SOLVER_ENGINES, SOLVERS
 from repro.storage.base import ExportMode
 from repro.violations.kernels import ENGINES as _VALID_ENGINES
 
@@ -88,9 +89,9 @@ class RepairConfig:
     (``delete``, Section 5), and the conclusion's combined mode
     (``mixed``); ``table_weights`` sets the per-relation deletion weights
     ``α_{δ_R}`` for the deletion-based modes.  ``runtime_backend`` /
-    ``runtime_workers`` / ``detection_engine`` configure the
-    parallel-execution runtime and violation-detection engine (the JSON
-    ``runtime`` block).
+    ``runtime_workers`` / ``detection_engine`` / ``solver_engine``
+    configure the parallel-execution runtime, the violation-detection
+    engine and the set-cover solver engine (the JSON ``runtime`` block).
     """
 
     schema: Schema
@@ -106,6 +107,7 @@ class RepairConfig:
     runtime_backend: str = "serial"
     runtime_workers: int | None = None
     detection_engine: str = "auto"
+    solver_engine: str = "auto"
     trace_enabled: bool = False
     trace_out: str | None = None
     trace_format: str = "chrome"
@@ -222,6 +224,12 @@ class RepairConfig:
                 f"runtime.engine must be one of {_VALID_ENGINES}, "
                 f"got {detection_engine!r}"
             )
+        solver_engine = runtime.get("solver_engine", "auto")
+        if solver_engine not in SOLVER_ENGINES:
+            raise ConfigError(
+                f"runtime.solver_engine must be one of {SOLVER_ENGINES}, "
+                f"got {solver_engine!r}"
+            )
         trace_enabled, trace_out, trace_format = _parse_trace(
             runtime.get("trace", False)
         )
@@ -266,6 +274,7 @@ class RepairConfig:
             runtime_backend=runtime_backend,
             runtime_workers=runtime_workers,
             detection_engine=detection_engine,
+            solver_engine=solver_engine,
             trace_enabled=trace_enabled,
             trace_out=trace_out,
             trace_format=trace_format,

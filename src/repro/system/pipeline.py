@@ -128,6 +128,7 @@ class RepairProgram:
             violations=violations,
             parallel=policy if policy.backend != "serial" else None,
             engine=self.config.detection_engine,
+            solver_engine=self.config.solver_engine,
             trace=self.config.trace_enabled,
         )
         if export:
@@ -164,6 +165,7 @@ class RepairProgram:
             metric=self.config.metric,
             parallel=policy if policy.backend != "serial" else None,
             engine=self.config.detection_engine,
+            solver_engine=self.config.solver_engine,
             trace=self.config.trace_enabled,
         )
         if export:

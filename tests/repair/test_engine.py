@@ -44,6 +44,39 @@ class TestRepairDatabase:
         # minimal cover weight per Definition 3.1 weights: S1+S5+S7 = 2.5.
         assert result.cover_weight == pytest.approx(2.5)
 
+    @pytest.mark.parametrize("algorithm", APPROXIMATIONS + ["exact"])
+    def test_solver_engines_repair_identically(self, paper_pub, algorithm):
+        """Flat and object solver engines produce byte-identical repairs."""
+        flat = repair_database(
+            paper_pub.instance,
+            paper_pub.constraints,
+            algorithm=algorithm,
+            solver_engine="flat",
+        )
+        obj = repair_database(
+            paper_pub.instance,
+            paper_pub.constraints,
+            algorithm=algorithm,
+            solver_engine="object",
+        )
+        assert flat.repaired == obj.repaired
+        assert flat.changes == obj.changes
+        assert flat.cover_weight == obj.cover_weight
+        assert flat.distance == obj.distance
+        assert flat.algorithm == obj.algorithm
+        assert flat.solver_iterations == obj.solver_iterations
+        assert flat.solver_stats["solver_engine"] == "flat"
+        assert obj.solver_stats["solver_engine"] == "object"
+        stripped = {
+            k: v
+            for k, v in flat.solver_stats.items()
+            if k not in ("solver_engine", "incidence")
+        }
+        without_engine = {
+            k: v for k, v in obj.solver_stats.items() if k != "solver_engine"
+        }
+        assert stripped == without_engine
+
     def test_consistent_input_returns_zero_repair(self, paper):
         consistent = DatabaseInstance.from_rows(
             paper.schema, {"Paper": [("E3", 1, 70, 1)]}

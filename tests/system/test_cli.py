@@ -87,6 +87,17 @@ class TestCli:
         assert main([config_path, "--max-workers", "0"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_solver_engine_override(self, config_path, capsys):
+        for engine in ("flat", "object", "auto"):
+            assert main(
+                [config_path, "--solver-engine", engine, "--dry-run"]
+            ) == 0
+            assert "verified D'|=IC  : True" in capsys.readouterr().out
+
+    def test_solver_engine_rejects_unknown(self, config_path, capsys):
+        with pytest.raises(SystemExit):
+            main([config_path, "--solver-engine", "vectorized"])
+
 
 @pytest.fixture
 def nonlocal_config_path(tmp_path, config_path):

@@ -149,6 +149,7 @@ class TestRuntimeBlock:
             ({"max_workers": 0}, "max_workers"),
             ({"max_workers": True}, "max_workers"),
             ({"max_workers": "four"}, "max_workers"),
+            ({"solver_engine": "vectorized"}, "solver_engine"),
             ("process", "runtime"),
         ],
     )
@@ -157,6 +158,14 @@ class TestRuntimeBlock:
         data["runtime"] = runtime
         with pytest.raises(ConfigError, match=message):
             RepairConfig.from_dict(data)
+
+    def test_solver_engine_parsed(self):
+        data = minimal_config()
+        assert RepairConfig.from_dict(data).solver_engine == "auto"
+        data["runtime"] = {"solver_engine": "object"}
+        assert RepairConfig.from_dict(data).solver_engine == "object"
+        data["runtime"] = {"solver_engine": "flat"}
+        assert RepairConfig.from_dict(data).solver_engine == "flat"
 
 
 class TestLintBlock:
