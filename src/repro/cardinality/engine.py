@@ -96,6 +96,10 @@ def cardinality_repair(
         ``DeletionRepairResult.trace``.  A caller-provided tracer nests
         the run instead (and keeps ownership).
     """
+    # The Δ-transform builds a fresh in-memory D#, never backend-resident,
+    # so a strict pushdown request downgrades to auto for the inner repair.
+    if engine == "pushdown":
+        engine = "auto"
     tracer = as_tracer(trace)
     owns_trace = tracer.enabled and not isinstance(trace, Tracer)
     with ExitStack() as ctx:

@@ -82,6 +82,19 @@ class KernelError(ReproError):
     """
 
 
+class PushdownError(ReproError):
+    """The SQL pushdown detection engine is unavailable or unsupported.
+
+    Raised when ``engine="pushdown"`` is requested for an instance that is
+    not *backend-resident* (loaded via a SQL backend's ``load_instance``
+    and unmodified since), or when a constraint's violation SQL cannot be
+    executed faithfully inside the backend (non-integer or NULL data in a
+    compared column, where SQL comparison semantics diverge from Python).
+    The ``auto`` engine catches this internally and falls back to the
+    kernel/interpreted detectors.
+    """
+
+
 class LintError(ReproError):
     """The static constraint analyzer found gating diagnostics.
 

@@ -18,7 +18,10 @@ would otherwise discover piecemeal and late:
   predicted ``f``-approximation factor;
 * **kernel compilability** (:mod:`repro.lint.compilability`): which
   constraints the columnar engine can always execute and which may fall
-  back to the interpreted detector at runtime.
+  back to the interpreted detector at runtime;
+* **pushdown executability** (same module): which constraints the SQL
+  pushdown engine can always run in-database and which the backend may
+  refuse at runtime for non-integer data.
 
 Every finding is a structured :class:`~repro.lint.diagnostics.Diagnostic`
 with a stable ``LINTxxx`` code; :func:`lint_constraints` runs all passes
@@ -27,7 +30,11 @@ and returns a :class:`~repro.lint.diagnostics.LintReport`.
 
 from repro.lint.analyzer import PASSES, lint_constraints, removable_constraints
 from repro.lint.bounds import predicted_max_frequency
-from repro.lint.compilability import KernelClassification, classify_constraint
+from repro.lint.compilability import (
+    KernelClassification,
+    classify_constraint,
+    classify_pushdown,
+)
 from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 from repro.lint.reporters import render_json, render_text
 from repro.lint.satisfiability import body_is_satisfiable
@@ -41,6 +48,7 @@ __all__ = [
     "Severity",
     "body_is_satisfiable",
     "classify_constraint",
+    "classify_pushdown",
     "lint_constraints",
     "predicted_max_frequency",
     "removable_constraints",

@@ -16,7 +16,9 @@ order) is :data:`PASSES`:
 5. ``bounds`` - the predicted layer-algorithm approximation factor
    (``LINT040``) and constraints without candidate fixes (``LINT041``);
 6. ``compilability`` - constraints whose kernel execution is
-   data-dependent (``LINT050``).
+   data-dependent (``LINT050``);
+7. ``pushdownability`` - constraints whose SQL pushdown execution is
+   data-dependent (``LINT051``).
 """
 
 from __future__ import annotations
@@ -27,7 +29,12 @@ from repro.constraints.atoms import BuiltinAtom, Comparator
 from repro.constraints.denial import DenialConstraint
 from repro.exceptions import ConstraintError, SchemaError
 from repro.lint.bounds import predicted_max_frequency
-from repro.lint.compilability import KERNEL_CONDITIONAL, classify_constraint
+from repro.lint.compilability import (
+    KERNEL_CONDITIONAL,
+    PUSHDOWN_CONDITIONAL,
+    classify_constraint,
+    classify_pushdown,
+)
 from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 from repro.lint.locality import locality_diagnostics
 from repro.lint.satisfiability import body_is_satisfiable
@@ -41,6 +48,7 @@ PASSES = (
     "locality",
     "bounds",
     "compilability",
+    "pushdownability",
 )
 
 #: Codes marking a constraint safe to remove without changing any
@@ -284,6 +292,47 @@ def lint_constraints(
                     suggestion=(
                         "ensure the listed columns are integer-valued, or "
                         "request engine=interpreted to silence the fallback"
+                    ),
+                )
+            )
+
+    # -- pushdownability -----------------------------------------------------
+    if "pushdownability" in selected:
+        for constraint in valid:
+            classification = classify_pushdown(constraint, schema)
+            if classification.unconditional:
+                continue
+            attributes = ", ".join(
+                f"{relation}.{attribute}"
+                for relation, attribute in classification.conditional_attributes
+            )
+            diagnostics.append(
+                Diagnostic(
+                    code=PUSHDOWN_CONDITIONAL,
+                    severity=Severity.WARNING,
+                    constraint=constraint.label,
+                    message=(
+                        f"{constraint.label}: SQL pushdown executability is "
+                        f"data-dependent - order/offset comparisons over "
+                        f"hard attribute(s) {attributes} follow SQL type "
+                        "ordering/coercion instead of Python semantics when "
+                        "they hold non-integers; the backend refuses such "
+                        "data and engine=auto falls back in-memory"
+                    ),
+                    details={
+                        "attributes": [
+                            list(pair)
+                            for pair in classification.conditional_attributes
+                        ],
+                        "required_slots": [
+                            list(slot)
+                            for slot in classification.required_slots
+                        ],
+                    },
+                    suggestion=(
+                        "ensure the listed columns are integer-valued, or "
+                        "request an in-memory engine to avoid the pushdown "
+                        "refusal"
                     ),
                 )
             )

@@ -30,6 +30,7 @@ from repro.model.schema import Schema
 from repro.violations.kernels import kernel_requirements
 
 KERNEL_CONDITIONAL = "LINT050"
+PUSHDOWN_CONDITIONAL = "LINT051"
 
 
 @dataclass(frozen=True)
@@ -69,3 +70,23 @@ def classify_constraint(
         required_slots=tuple(required),
         conditional_attributes=tuple(sorted(conditional)),
     )
+
+
+def classify_pushdown(
+    constraint: DenialConstraint, schema: Schema
+) -> KernelClassification:
+    """Static pushdown-executability verdict for one constraint.
+
+    The SQL pushdown engine diverges from Python comparison semantics at
+    exactly the slots the kernel cannot vectorize - order comparisons and
+    offset arithmetic over non-integer columns (see
+    :func:`repro.violations.pushdown.pushdown_requirements`, which is
+    :func:`~repro.violations.kernels.kernel_requirements` by design) - so
+    the static classification is shared: a constraint is *conditionally*
+    pushdown-executable (``LINT051``) when a hard attribute among its
+    required slots may hold non-integer data, making the backend refuse
+    it with :class:`~repro.exceptions.PushdownError` at execution time
+    (``engine="auto"`` then falls back in-memory).  NULL-freedom is a
+    property of the data alone and stays a runtime check.
+    """
+    return classify_constraint(constraint, schema)

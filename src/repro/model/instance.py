@@ -173,11 +173,29 @@ class DatabaseInstance:
         return removed
 
     def copy(self) -> "DatabaseInstance":
-        """Shallow copy (tuples are immutable, so sharing them is safe)."""
+        """Shallow copy (tuples are immutable, so sharing them is safe).
+
+        The copy is a fresh object: it does not inherit a pushdown
+        backend binding (see :mod:`repro.violations.pushdown`) - copies
+        are about to diverge from the backend-resident image.
+        """
         clone = DatabaseInstance(self._schema)
         for name, table in self._tables.items():
             clone._tables[name] = dict(table)
         return clone
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle without the pushdown backend binding.
+
+        The binding (:mod:`repro.violations.pushdown`) holds a weak
+        reference to a live database connection; neither survives a trip
+        into a process-pool worker, so the unpickled instance is simply
+        not backend-resident there and detection falls back to the
+        in-memory engines.
+        """
+        state = self.__dict__.copy()
+        state.pop("_pushdown_binding", None)
+        return state
 
     # -- comparison ----------------------------------------------------------
 

@@ -125,11 +125,13 @@ def repair_database(
     max_workers:
         Worker bound for the parallel stages (default: all cores).
     engine:
-        Violation-detection engine: ``auto`` (default; the columnar
-        kernel when NumPy is importable, interpreted otherwise),
-        ``kernel``, or ``interpreted``.  Both engines yield
-        byte-identical violations, hence identical repairs; the choice
-        also applies to post-repair verification.
+        Violation-detection engine: ``auto`` (default; SQL pushdown when
+        the instance is backend-resident, else the columnar kernel when
+        NumPy is importable, interpreted otherwise), ``pushdown``,
+        ``kernel``, or ``interpreted``.  All engines yield byte-identical
+        violations, hence identical repairs; the choice also applies to
+        post-repair verification (where ``pushdown`` downgrades to
+        ``auto``: the repaired copy is no longer backend-resident).
     solver_engine:
         Set-cover solver engine: ``auto`` (default; the flat CSR/bitset
         core of :mod:`repro.setcover.flat`), ``flat``, or ``object``
@@ -195,7 +197,7 @@ def repair_database(
                 "repair",
                 category="pipeline",
                 algorithm=str(algorithm),
-                engine=resolve_engine(engine),
+                engine=resolve_engine(engine, instance),
                 solver_engine=solver_engine,
                 backend=executor.backend if decomposed else "serial",
                 tuples=len(instance),
@@ -311,9 +313,15 @@ def repair_database(
 
         verified = False
         if verify:
+            # The repaired copy is a fresh in-memory instance, never
+            # backend-resident, so a strict pushdown request downgrades to
+            # auto here instead of failing its own verification.
+            verify_engine = "auto" if engine == "pushdown" else engine
             with tracer.span("verify", category="stage") as verify_span:
-                if not is_consistent(repaired, constraints, engine=engine):
-                    remaining = find_all_violations(repaired, constraints, engine=engine)
+                if not is_consistent(repaired, constraints, engine=verify_engine):
+                    remaining = find_all_violations(
+                        repaired, constraints, engine=verify_engine
+                    )
                     raise RepairError(
                         f"repair left {len(remaining)} violations - the constraint "
                         "set is not local or the cover construction is inconsistent; "
@@ -323,7 +331,7 @@ def repair_database(
                 verify_span.tag(consistent=True)
 
         solver_stats = dict(cover.stats)
-        solver_stats["detection_engine"] = resolve_engine(engine)
+        solver_stats["detection_engine"] = resolve_engine(engine, instance)
         # Flat-engine covers stamp themselves; anything else (including a
         # flat request served by an object-only solver like lp-rounding)
         # ran the object code path.

@@ -52,6 +52,7 @@ from repro.violations.detector import (
     is_consistent,
 )
 from repro.violations.indexes import JoinIndexCache
+from repro.violations.kernels import resolve_engine
 
 
 class IncrementalRepairer:
@@ -88,7 +89,11 @@ class IncrementalRepairer:
         # indexes, so ``auto`` resolves to the interpreted Δ-proportional
         # path there (a per-commit columnar snapshot rebuild would cost
         # O(|D|)).  ``engine="kernel"`` forces the kernel everywhere.
-        self._engine = engine
+        # The repairer works on private copies that are never backend-
+        # resident, so a strict ``pushdown`` request downgrades to ``auto``
+        # (after name validation) rather than failing every commit.
+        resolve_engine(engine)
+        self._engine = "auto" if engine == "pushdown" else engine
         self._solver_engine = resolve_solver_engine(solver_engine)
         # Anchored detection is dominated by hash lookups against the
         # shared join-index cache, which a process pool cannot see - so
@@ -103,7 +108,7 @@ class IncrementalRepairer:
         check_local_set(self._constraints, instance.schema)
 
         self._instance = instance.copy()
-        if not is_consistent(self._instance, self._constraints, engine=engine):
+        if not is_consistent(self._instance, self._constraints, engine=self._engine):
             if not repair_initial:
                 raise RepairError(
                     "initial instance is inconsistent; pass "

@@ -12,5 +12,17 @@ from repro.storage.base import Backend, ExportMode
 from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite import SqliteBackend
 from repro.storage.csvdir import CsvBackend
+from repro.storage.duckdb import DuckDBBackend, duckdb_available
+from repro.storage.witnesses import DEFAULT_BATCH_ROWS, stream_witness_sets
 
-__all__ = ["Backend", "CsvBackend", "ExportMode", "MemoryBackend", "SqliteBackend"]
+__all__ = [
+    "Backend",
+    "CsvBackend",
+    "DEFAULT_BATCH_ROWS",
+    "DuckDBBackend",
+    "ExportMode",
+    "MemoryBackend",
+    "SqliteBackend",
+    "duckdb_available",
+    "stream_witness_sets",
+]

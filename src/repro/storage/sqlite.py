@@ -16,14 +16,23 @@ import sqlite3
 from typing import Any, Iterable, Sequence
 
 from repro.constraints.denial import DenialConstraint
-from repro.constraints.sql import violation_query
-from repro.exceptions import BackendError
+from repro.constraints.sql import ViolationQuery, violation_query
+from repro.exceptions import BackendError, InstanceError, PushdownError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Relation, Schema
 from repro.model.tuples import Tuple
 from repro.repair.result import RepairResult
 from repro.storage.base import ExportMode
-from repro.violations.detector import ViolationSet, _minimal_sets
+from repro.storage.witnesses import stream_witness_sets
+from repro.violations.detector import ViolationSet, _ordered_violation_sets
+from repro.violations.pushdown import (
+    BINDING_ATTR,
+    bind_backend,
+    prescan_columns,
+    pushdown_requirements,
+    referenced_columns,
+    slot_columns,
+)
 
 
 def _column_ddl(relation: Relation) -> str:
@@ -38,12 +47,28 @@ def _column_ddl(relation: Relation) -> str:
 class SqliteBackend:
     """Backend over a sqlite database file (or ``:memory:``)."""
 
+    #: First SQL keywords that never modify the database; ``execute`` with
+    #: anything else bumps the write generation and severs pushdown bindings.
+    _READONLY_KEYWORDS = frozenset({"SELECT", "PRAGMA", "EXPLAIN"})
+
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
+        self._generation = 0
         try:
             self._connection = sqlite3.connect(path)
         except sqlite3.Error as error:
             raise BackendError(f"cannot open sqlite database {path!r}: {error}")
+
+    @property
+    def generation(self) -> int:
+        """Write counter; instances loaded at an older generation are stale.
+
+        Every mutating operation (DDL, ingestion, repair export, raw
+        non-``SELECT`` SQL) increments it, which invalidates the pushdown
+        bindings of previously loaded instances
+        (:mod:`repro.violations.pushdown`).
+        """
+        return self._generation
 
     def _cursor(self) -> sqlite3.Cursor:
         """A cursor, translating closed/broken connections to BackendError."""
@@ -65,6 +90,7 @@ class SqliteBackend:
                 f"({_column_ddl(relation)})"
             )
         self._connection.commit()
+        self._generation += 1
 
     def create_violation_views(
         self,
@@ -93,6 +119,7 @@ class SqliteBackend:
             self._connection.rollback()
             raise BackendError(f"creating violation views failed: {error}") from error
         self._connection.commit()
+        self._generation += 1
         return tuple(names)
 
     def write_instance(self, instance: DatabaseInstance) -> None:
@@ -109,6 +136,7 @@ class SqliteBackend:
             self._connection.rollback()
             raise BackendError(f"insert failed: {error}") from error
         self._connection.commit()
+        self._generation += 1
 
     @classmethod
     def from_instance(
@@ -123,7 +151,12 @@ class SqliteBackend:
     # -- Backend protocol --------------------------------------------------------
 
     def load_instance(self, schema: Schema) -> DatabaseInstance:
-        """Read every table into an in-memory instance."""
+        """Read every table into an in-memory instance.
+
+        The returned instance is *backend-resident*: it carries a pushdown
+        binding to this backend, so ``engine="auto"`` detection runs the
+        violation SQL in-database until either side is mutated.
+        """
         instance = DatabaseInstance(schema)
         cursor = self._cursor()
         for relation in schema:
@@ -138,6 +171,10 @@ class SqliteBackend:
                 ) from error
             for row in rows:
                 instance.insert(Tuple(relation, tuple(row)))
+        bind_backend(instance, self)
+        # Seed the executability cache from the rows just read: detection
+        # then needs no per-column typeof/NULL scans at all.
+        getattr(instance, BINDING_ATTR).cache.update(prescan_columns(instance))
         return instance
 
     def find_violations(
@@ -145,31 +182,27 @@ class SqliteBackend:
         schema: Schema,
         constraints: Iterable[DenialConstraint],
     ) -> tuple[ViolationSet, ...]:
-        """Run the Algorithm-2 SQL views and assemble minimal violation sets."""
+        """Run the Algorithm-2 SQL views and assemble minimal violation sets.
+
+        Witness rows stream in bounded batches
+        (:mod:`repro.storage.witnesses`) instead of one ``fetchall``, and
+        funnel through the detector's shared minimality+ordering reduction
+        - the same path the in-memory engines take.
+        """
         instance = self.load_instance(schema)
         results: list[ViolationSet] = []
         cursor = self._cursor()
         for constraint in constraints:
             compiled = violation_query(constraint, schema)
             try:
-                rows = cursor.execute(compiled.sql).fetchall()
+                cursor.execute(compiled.sql)
+                used_sets = stream_witness_sets(cursor.fetchmany, compiled, instance)
             except sqlite3.Error as error:
                 raise BackendError(
                     f"violation query failed for {constraint.label}: "
                     f"{compiled.sql!r}: {error}"
                 ) from error
-            used_sets: set[frozenset[Tuple]] = set()
-            for row in rows:
-                tuples = []
-                for atom in compiled.atoms:
-                    key = tuple(row[i] for i in atom.key_columns)
-                    tuples.append(instance.get(atom.relation_name, key))
-                used_sets.add(frozenset(tuples))
-            ordered = sorted(
-                _minimal_sets(used_sets),
-                key=lambda s: sorted(t.ref.sort_key for t in s),
-            )
-            results.extend(ViolationSet(s, constraint) for s in ordered)
+            results.extend(_ordered_violation_sets(used_sets, constraint))
         return tuple(results)
 
     def export_repair(
@@ -208,6 +241,7 @@ class SqliteBackend:
             self._connection.rollback()
             raise BackendError(f"update export failed: {error}") from error
         self._connection.commit()
+        self._generation += 1
         return f"updated {updated} rows in place"
 
     def _export_insert_new(self, result: RepairResult) -> str:
@@ -227,6 +261,7 @@ class SqliteBackend:
             self._connection.rollback()
             raise BackendError(f"insert export failed: {error}") from error
         self._connection.commit()
+        self._generation += 1
         return "inserted repaired tables with suffix _repaired"
 
     def export_snapshot(
@@ -255,6 +290,7 @@ class SqliteBackend:
                 self._connection.rollback()
                 raise BackendError(f"snapshot export failed: {error}") from error
             self._connection.commit()
+            self._generation += 1
             return "rewrote tables from repaired snapshot"
         if mode is ExportMode.INSERT_NEW:
             cursor = self._cursor()
@@ -274,6 +310,7 @@ class SqliteBackend:
                 self._connection.rollback()
                 raise BackendError(f"snapshot export failed: {error}") from error
             self._connection.commit()
+            self._generation += 1
             return "inserted repaired tables with suffix _repaired"
         if destination is None:
             raise BackendError("DUMP_TEXT export needs a destination path")
@@ -281,14 +318,175 @@ class SqliteBackend:
             handle.write(instance.to_text() + "\n")
         return f"dumped to {destination}"
 
+    # -- pushdown detection -----------------------------------------------------------
+
+    def _column_is_clean(
+        self,
+        cursor: sqlite3.Cursor,
+        schema: Schema,
+        kind: str,
+        relation_name: str,
+        attribute_name: str,
+        cache: dict[Any, bool],
+    ) -> bool:
+        """Cached per-column verdict: ``kind`` is ``"int"`` or ``"null"``.
+
+        ``"int"`` asks whether every stored value has sqlite type class
+        INTEGER (``typeof(NULL)`` is ``'null'``, so NULLs fail this too);
+        ``"null"`` asks whether the column is NULL-free.  The first miss
+        for a relation scans *all* of its columns for both kinds in one
+        aggregate pass - one table scan per relation per binding instead
+        of one per (constraint, column) - and fills the cache wholesale.
+        """
+        key = (kind, relation_name, attribute_name)
+        if key in cache:
+            return cache[key]
+        relation = schema.relation(relation_name)
+        parts = []
+        for attribute in relation.attributes:
+            parts.append(f"MAX(typeof({attribute.name}) <> 'integer')")
+            parts.append(f"MAX({attribute.name} IS NULL)")
+        row = cursor.execute(
+            f"SELECT {', '.join(parts)} FROM {relation_name}"
+        ).fetchone()
+        for index, attribute in enumerate(relation.attributes):
+            # MAX over an empty table yields NULL: vacuously clean.
+            cache[("int", relation_name, attribute.name)] = not row[2 * index]
+            cache[("null", relation_name, attribute.name)] = not row[2 * index + 1]
+        return cache[key]
+
+    def _check_pushdown_executable(
+        self,
+        cursor: sqlite3.Cursor,
+        schema: Schema,
+        constraint: DenialConstraint,
+        cache: dict[Any, bool] | None,
+    ) -> None:
+        """Refuse data shapes where sqlite semantics diverge from Python.
+
+        Order comparisons and offset arithmetic need all-integer columns
+        (sqlite orders text above numbers and coerces text ``+`` operands
+        to 0 where Python raises ``TypeError``); every compared column
+        must be NULL-free (SQL NULLs never join, Python ``None == None``
+        is true).  Raises :class:`PushdownError` naming the first
+        offending column.
+        """
+        if cache is None:
+            cache = {}
+        required = slot_columns(
+            constraint, schema, pushdown_requirements(constraint)
+        )
+        for relation_name, attribute_name in sorted(required):
+            if not self._column_is_clean(
+                cursor, schema, "int", relation_name, attribute_name, cache
+            ):
+                raise PushdownError(
+                    f"{constraint.label}: column "
+                    f"{relation_name}.{attribute_name} holds non-integer "
+                    "data, where sqlite order/offset comparison semantics "
+                    "diverge from Python's"
+                )
+        for relation_name, attribute_name in sorted(
+            referenced_columns(constraint, schema)
+        ):
+            if not self._column_is_clean(
+                cursor, schema, "null", relation_name, attribute_name, cache
+            ):
+                raise PushdownError(
+                    f"{constraint.label}: column "
+                    f"{relation_name}.{attribute_name} holds NULLs, which "
+                    "never satisfy SQL comparisons but compare equal as "
+                    "Python None"
+                )
+
+    def _pushdown_cursor(
+        self,
+        constraint: DenialConstraint,
+        schema: Schema,
+        cache: dict[Any, bool] | None,
+    ) -> tuple[sqlite3.Cursor, ViolationQuery]:
+        """Validate executability and compile the violation query."""
+        compiled = violation_query(constraint, schema)
+        cursor = self._cursor()
+        try:
+            self._check_pushdown_executable(cursor, schema, constraint, cache)
+        except sqlite3.Error as error:
+            raise PushdownError(
+                f"{constraint.label}: pushdown pre-check failed: {error}"
+            ) from error
+        return cursor, compiled
+
+    def pushdown_witnesses(
+        self,
+        instance: DatabaseInstance,
+        constraint: DenialConstraint,
+        max_violations: int | None = None,
+        cache: dict[Any, bool] | None = None,
+    ) -> set[frozenset[Tuple]]:
+        """Witness tuple sets of one constraint, computed in-database.
+
+        The pushdown-engine entry point (see
+        :mod:`repro.violations.pushdown`): executes the compiled violation
+        SQL and streams the key rows back, resolved against the bound
+        in-memory image.  Raises :class:`PushdownError` when the resident
+        data is not faithfully executable in sqlite;
+        :class:`~repro.exceptions.ConstraintError` when ``max_violations``
+        trips (identical contract and message as the in-memory engines).
+        """
+        cursor, compiled = self._pushdown_cursor(constraint, instance.schema, cache)
+        try:
+            cursor.execute(compiled.sql)
+            return stream_witness_sets(
+                cursor.fetchmany,
+                compiled,
+                instance,
+                max_violations=max_violations,
+            )
+        except sqlite3.Error as error:
+            raise PushdownError(
+                f"{constraint.label}: violation query failed: "
+                f"{compiled.sql!r}: {error}"
+            ) from error
+        except InstanceError as error:
+            raise PushdownError(
+                f"{constraint.label}: backend rows diverged from the bound "
+                f"instance: {error}"
+            ) from error
+
+    def pushdown_has_witness(
+        self,
+        instance: DatabaseInstance,
+        constraint: DenialConstraint,
+        cache: dict[Any, bool] | None = None,
+    ) -> bool:
+        """``LIMIT 1`` probe: does the constraint have any witness?"""
+        cursor, compiled = self._pushdown_cursor(constraint, instance.schema, cache)
+        try:
+            return bool(cursor.execute(compiled.sql + " LIMIT 1").fetchall())
+        except sqlite3.Error as error:
+            raise PushdownError(
+                f"{constraint.label}: violation query failed: "
+                f"{compiled.sql!r}: {error}"
+            ) from error
+
     # -- misc -------------------------------------------------------------------------
 
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> list[tuple]:
-        """Run raw SQL (diagnostics, tests)."""
+        """Run raw SQL (diagnostics, tests).
+
+        Anything that is not a plain ``SELECT``/``PRAGMA``/``EXPLAIN``
+        counts as a write and severs pushdown bindings of previously
+        loaded instances.
+        """
         try:
-            return self._connection.execute(sql, parameters).fetchall()
+            rows = self._connection.execute(sql, parameters).fetchall()
         except sqlite3.Error as error:
             raise BackendError(f"query failed: {sql!r}: {error}") from error
+        first_word = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+        if first_word not in self._READONLY_KEYWORDS:
+            self._connection.commit()
+            self._generation += 1
+        return rows
 
     def close(self) -> None:
         """Close the underlying connection."""

@@ -1,0 +1,98 @@
+"""Batched witness streaming shared by the SQL backends.
+
+The violation query of :func:`repro.constraints.sql.violation_query`
+returns one row per witness, each row holding the primary-key values of
+the participating tuples.  At TPC-H scale a single accidental cartesian
+constraint can produce millions of rows, so the backends never
+``fetchall``: rows stream in bounded batches through
+:func:`stream_witness_sets`, which resolves them to tuple sets against
+the in-memory image and enforces the same ``max_violations`` safety
+valve (and error message) as the in-memory engines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exceptions import ConstraintError
+
+if TYPE_CHECKING:
+    from repro.constraints.sql import ViolationQuery
+    from repro.model.instance import DatabaseInstance
+    from repro.model.tuples import Tuple
+
+#: Rows fetched per batch.  Bounds peak row-buffer memory while keeping
+#: the per-batch driver overhead negligible against the query itself.
+DEFAULT_BATCH_ROWS = 4096
+
+
+def stream_witness_sets(
+    fetchmany: Callable[[int], Sequence[Sequence[object]]],
+    compiled: "ViolationQuery",
+    instance: "DatabaseInstance",
+    *,
+    max_violations: int | None = None,
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> "set[frozenset[Tuple]]":
+    """Drain a violation-query cursor into witness tuple sets.
+
+    ``fetchmany`` is the cursor's batch fetcher (DB-API ``fetchmany``).
+    Each row is one satisfying assignment; rows are counted against
+    ``max_violations`` exactly like the in-memory engines count
+    assignments, and resolved to tuples via ``instance.get`` on the
+    primary keys the query projected.  Self-join rows assigning one
+    tuple to several atoms collapse into smaller sets, matching the
+    interpreted enumeration.
+    """
+    used: set[frozenset[Tuple]] = set()
+    add = used.add
+    witnesses = 0
+    resolve = instance.get
+    atoms = compiled.atoms
+    # The violation query projects each atom's key attributes in atom
+    # order, so every atom's result columns form one contiguous span -
+    # letting the hot loop slice rows (one C-level op) instead of
+    # assembling key tuples index by index.  Guarded, with a generic
+    # fallback, in case a future query layout breaks the invariant.
+    spans = [
+        (atom.relation_name, atom.key_columns[0], atom.key_columns[-1] + 1)
+        for atom in atoms
+    ]
+    contiguous = all(
+        atom.key_columns == tuple(range(start, stop))
+        for atom, (_, start, stop) in zip(atoms, spans)
+    )
+    single = spans[0] if contiguous and len(spans) == 1 else None
+    while True:
+        rows = fetchmany(batch_size)
+        if not rows:
+            return used
+        witnesses += len(rows)
+        if max_violations is not None and witnesses > max_violations:
+            raise ConstraintError(
+                f"{compiled.constraint.label}: more than {max_violations} "
+                "violation witnesses; refusing to enumerate further"
+            )
+        if single is not None:
+            relation_name, start, stop = single
+            for row in rows:
+                add(frozenset((resolve(relation_name, row[start:stop]),)))
+        elif contiguous:
+            for row in rows:
+                add(
+                    frozenset(
+                        resolve(relation_name, row[start:stop])
+                        for relation_name, start, stop in spans
+                    )
+                )
+        else:
+            for row in rows:
+                add(
+                    frozenset(
+                        resolve(
+                            atom.relation_name,
+                            tuple(row[i] for i in atom.key_columns),
+                        )
+                        for atom in atoms
+                    )
+                )

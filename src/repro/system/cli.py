@@ -72,10 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=["auto", "kernel", "interpreted"],
+        choices=["auto", "kernel", "interpreted", "pushdown"],
         help="override the violation-detection engine: the columnar NumPy "
-        "kernel, the interpreted enumeration, or auto (kernel when NumPy "
-        "is available; results are identical either way)",
+        "kernel, the interpreted enumeration, the SQL pushdown engine "
+        "(runs the violation queries inside a SQL source backend), or "
+        "auto (pushdown for backend-resident instances, else kernel when "
+        "NumPy is available; results are identical in every case)",
     )
     parser.add_argument(
         "--solver-engine",

@@ -31,14 +31,16 @@ into text file)."*  We use JSON::
       "export": {"mode": "update"}
     }
 
-``source.backend`` is ``sqlite`` (with ``path``) or ``memory`` (with
-inline ``rows``); ``export.mode`` is ``update`` / ``insert`` / ``dump``
-(the latter with ``destination``).  The optional ``runtime`` block picks
-the parallel-execution backend (``serial`` / ``thread`` / ``process`` /
+``source.backend`` is ``sqlite`` or ``duckdb`` (with ``path``), ``csv``
+(with ``directory``), or ``memory`` (with inline ``rows``);
+``export.mode`` is ``update`` / ``insert`` / ``dump`` (the latter with
+``destination``).  The optional ``runtime`` block picks the
+parallel-execution backend (``serial`` / ``thread`` / ``process`` /
 ``auto``) and worker count for the detection and solving stages, plus the
-in-memory violation-detection ``engine`` (``auto`` / ``kernel`` /
-``interpreted``, see :mod:`repro.violations.kernels`); it defaults to the
-serial pipeline with the ``auto`` engine.
+violation-detection ``engine`` (``auto`` / ``kernel`` / ``interpreted`` /
+``pushdown``, see :mod:`repro.violations.kernels`); it defaults to the
+serial pipeline with the ``auto`` engine, which resolves to ``pushdown``
+for instances loaded from a SQL source backend.
 
 ``runtime.trace`` switches on the observability layer
 (:mod:`repro.obs`): either a boolean, or an object
@@ -167,12 +169,12 @@ class RepairConfig:
         source = data.get("source", {"backend": "memory", "rows": {}})
         if not isinstance(source, Mapping) or "backend" not in source:
             raise ConfigError("source must be an object with a 'backend' key")
-        if source["backend"] not in ("memory", "sqlite", "csv"):
+        if source["backend"] not in ("memory", "sqlite", "csv", "duckdb"):
             raise ConfigError(
                 f"unknown source backend {source['backend']!r}"
             )
-        if source["backend"] == "sqlite" and "path" not in source:
-            raise ConfigError("sqlite source needs a 'path'")
+        if source["backend"] in ("sqlite", "duckdb") and "path" not in source:
+            raise ConfigError(f"{source['backend']} source needs a 'path'")
         if source["backend"] == "csv" and "directory" not in source:
             raise ConfigError("csv source needs a 'directory'")
 

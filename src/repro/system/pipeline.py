@@ -70,6 +70,10 @@ class RepairProgram:
         source = self.config.source
         if source["backend"] == "sqlite":
             return SqliteBackend(source["path"])
+        if source["backend"] == "duckdb":
+            from repro.storage.duckdb import DuckDBBackend
+
+            return DuckDBBackend(source["path"])
         if source["backend"] == "csv":
             return CsvBackend(source["directory"])
         rows = source.get("rows", {})

@@ -15,11 +15,23 @@ from repro.violations.degree import (
     inconsistency_profile,
 )
 from repro.violations.kernels import ENGINES, kernel_witnesses, resolve_engine
+from repro.violations.pushdown import (
+    bind_backend,
+    bound_backend,
+    pushdown_ready,
+    pushdown_requirements,
+    unbind_backend,
+)
 
 __all__ = [
     "ENGINES",
+    "bind_backend",
+    "bound_backend",
     "kernel_witnesses",
+    "pushdown_ready",
+    "pushdown_requirements",
     "resolve_engine",
+    "unbind_backend",
     "ViolationSet",
     "find_all_violations",
     "find_violations",

@@ -20,12 +20,17 @@ this *interpreted* enumeration and the columnar *kernel* executor of
 * ``"kernel"`` - vectorized NumPy execution of the compiled plan; raises
   :class:`~repro.exceptions.KernelError` without NumPy or on data shapes
   with no vectorized form;
-* ``"auto"`` (default) - the kernel when NumPy is importable, falling
-  back to the interpreted path per constraint on :class:`KernelError`.
+* ``"pushdown"`` - the Algorithm-2 SQL executed *inside* the storage
+  backend (:mod:`repro.violations.pushdown`); needs a backend-resident
+  instance and raises :class:`~repro.exceptions.PushdownError` otherwise;
+* ``"auto"`` (default) - pushdown when the instance is backend-resident,
+  else the kernel when NumPy is importable, falling back per constraint
+  to the interpreted path on :class:`KernelError`/:class:`PushdownError`.
 
-Both engines produce byte-identical results: the kernel computes the same
+All engines produce byte-identical results: each computes the same
 satisfying-assignment witness sets, which then flow through the same
-minimality reduction and deterministic ordering.
+minimality reduction and deterministic ordering
+(:func:`_ordered_violation_sets`).
 """
 
 from __future__ import annotations
@@ -34,15 +39,17 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.constraints.denial import DenialConstraint
-from repro.exceptions import ConstraintError, KernelError
+from repro.exceptions import ConstraintError, KernelError, PushdownError
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
 from repro.obs import current_tracer
 from repro.violations.kernels import (
     anchored_kernel_witnesses,
+    kernel_available,
     kernel_witnesses,
     resolve_engine,
 )
+from repro.violations.pushdown import pushdown_has_witness, pushdown_used_sets
 
 
 @dataclass(frozen=True)
@@ -360,8 +367,8 @@ def _ordered_violation_sets(
 ) -> tuple[ViolationSet, ...]:
     """Minimality reduction + the deterministic output order.
 
-    Both engines funnel their witness sets through here, which is what
-    makes their results byte-identical.
+    All engines (interpreted, kernel, pushdown) funnel their witness sets
+    through here, which is what makes their results byte-identical.
 
     The canonical order is by the sorted list of member ``sort_key``\\ s.
     The hot path compares :attr:`TupleRef.flat_sort_key` instead - a flat
@@ -435,7 +442,7 @@ def find_violations(
     with tracer.span(
         f"detect:{constraint.label}",
         category="detect",
-        engine=resolve_engine(engine),
+        engine=resolve_engine(engine, instance),
     ) as span:
         violations = _find_violations(instance, constraint, max_violations, engine)
         span.tag(violations=len(violations))
@@ -451,7 +458,19 @@ def _find_violations(
     max_violations: int | None,
     engine: str,
 ) -> tuple[ViolationSet, ...]:
-    if resolve_engine(engine) == "kernel":
+    resolved = resolve_engine(engine, instance)
+    if resolved == "pushdown":
+        try:
+            used_sets = pushdown_used_sets(instance, constraint, max_violations)
+        except PushdownError:
+            if engine == "pushdown":
+                raise
+            # auto: this constraint is not faithfully executable in the
+            # backend - fall back to the in-memory engines per constraint.
+            resolved = "kernel" if kernel_available() else "interpreted"
+        else:
+            return _ordered_violation_sets(used_sets, constraint)
+    if resolved == "kernel":
         try:
             used_sets = _kernel_used_sets(instance, constraint, max_violations)
         except KernelError:
@@ -492,9 +511,16 @@ def find_all_violations(
 
     ``engine`` composes with the fan-out: each worker runs the requested
     engine on its constraint batch (process workers rebuild their own
-    columnar snapshots from the shipped instance).
+    columnar snapshots from the shipped instance).  When the pushdown
+    engine is selected the fan-out is skipped and the per-constraint
+    loop stays serial: the backend connection is not shareable across
+    workers (and the database parallelizes each violation query
+    internally), while a shipped instance would arrive unbound and
+    silently detect with a different engine.
     """
     constraints = tuple(constraints)
+    if executor is not None and resolve_engine(engine, instance) == "pushdown":
+        executor = None
     per_constraint = _detect_parallel(
         instance, constraints, max_violations, executor, engine
     )
@@ -648,6 +674,12 @@ def _violations_involving_constraint(
     resolved = resolve_engine(engine)
     if engine == "auto" and raw_indexes is not None:
         resolved = "interpreted"
+    if resolved == "pushdown":
+        # Anchored detection is Δ-proportional work; a pushdown query
+        # would re-scan the whole backend (and incremental mutations
+        # sever the binding anyway), so anchored calls always use the
+        # in-memory engines - mirroring the raw_indexes rule above.
+        resolved = "kernel" if kernel_available() else "interpreted"
     if resolved == "kernel":
         try:
             used_sets = anchored_kernel_witnesses(instance, constraint, anchors)
@@ -778,9 +810,25 @@ def is_consistent(
     constraints: Iterable[DenialConstraint],
     engine: str = "auto",
 ) -> bool:
-    """True when ``D |= IC`` (no satisfying assignment for any denial body)."""
+    """True when ``D |= IC`` (no satisfying assignment for any denial body).
+
+    The pushdown engine answers this with a ``LIMIT 1`` probe per
+    constraint - the backend stops at the first witness row, so a
+    consistent backend-resident database is verified without
+    materializing anything in Python.
+    """
     for constraint in constraints:
-        if resolve_engine(engine) == "kernel":
+        resolved = resolve_engine(engine, instance)
+        if resolved == "pushdown":
+            try:
+                if pushdown_has_witness(instance, constraint):
+                    return False
+                continue
+            except PushdownError:
+                if engine == "pushdown":
+                    raise
+                resolved = "kernel" if kernel_available() else "interpreted"
+        if resolved == "kernel":
             try:
                 _used, count = kernel_witnesses(instance, constraint)
             except KernelError:

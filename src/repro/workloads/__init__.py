@@ -11,8 +11,11 @@ from repro.workloads.paperdemo import (
     paper_pub_example,
     paper_pub_schema,
 )
+from repro.workloads.tpch_like import tpch_like_schema, tpch_like_workload
 
 __all__ = [
+    "tpch_like_schema",
+    "tpch_like_workload",
     "Workload",
     "random_detection_workload",
     "client_buy_workload",

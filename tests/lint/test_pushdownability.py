@@ -1,0 +1,108 @@
+"""LINT051: static pushdown-executability verdicts vs the real engine."""
+
+import pytest
+
+from repro import DatabaseInstance, parse_denial
+from repro.exceptions import PushdownError
+from repro.lint import classify_pushdown, lint_constraints
+from repro.lint.compilability import PUSHDOWN_CONDITIONAL, classify_constraint
+from repro.lint.diagnostics import Severity
+from repro.storage import SqliteBackend
+from repro.violations.detector import find_violations
+from repro.workloads.clientbuy import client_buy_schema
+from repro.workloads.generator import random_detection_workload
+
+SCHEMA = client_buy_schema()
+
+#: Hard columns of the Client/Buy schema (same set the LINT050 suite
+#: uses): the schema cannot promise integers there.
+HARD_COLUMNS = {"Client": (0,), "Buy": (0, 1)}
+
+
+def stringified(instance):
+    """A copy of ``instance`` with every hard column turned into strings."""
+    copy = DatabaseInstance(instance.schema)
+    for relation in instance.schema:
+        hard = HARD_COLUMNS[relation.name]
+        for tup in instance.tuples(relation.name):
+            row = tuple(
+                f"v{value}" if position in hard else value
+                for position, value in enumerate(tup.values)
+            )
+            copy.insert_row(relation.name, row)
+    return copy
+
+
+class TestClassification:
+    def test_shares_the_kernel_classification(self):
+        """Pushdown and kernel executability are the same static predicate
+        (they diverge from Python at the same slots); only the NULL scan
+        is extra, and that is a runtime check by construction."""
+        for text in (
+            "NOT(Client(id, a, c), a < 18, c > 50)",
+            "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p > 30)",
+            "NOT(Buy(id, i, p), Client(id, a, c), a < 18, p > 25)",
+        ):
+            constraint = parse_denial(text)
+            assert classify_pushdown(constraint, SCHEMA) == classify_constraint(
+                constraint, SCHEMA
+            )
+
+    def test_conditional_constraint_gets_lint051(self):
+        constraints = (
+            parse_denial("k1: NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p > 30)"),
+            parse_denial("ok: NOT(Client(id, a, c), a < 18, c > 50)"),
+        )
+        report = lint_constraints(SCHEMA, constraints)
+        lint051 = [d for d in report if d.code == PUSHDOWN_CONDITIONAL]
+        assert [d.constraint for d in lint051] == ["k1"]
+        (diagnostic,) = lint051
+        assert diagnostic.severity is Severity.WARNING
+        assert "engine=auto falls back in-memory" in diagnostic.message
+        assert [["Buy", "id"]] == diagnostic.details["attributes"]
+        assert diagnostic.details["required_slots"]
+
+    def test_pass_can_be_disabled(self):
+        constraints = (
+            parse_denial("k1: NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p > 30)"),
+        )
+        report = lint_constraints(SCHEMA, constraints, passes=("validity",))
+        assert not [d for d in report if d.code == PUSHDOWN_CONDITIONAL]
+
+
+class TestMatchesEngineBehavior:
+    """The static verdict agrees with what the sqlite pushdown does."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fuzzed_constraints(self, seed):
+        workload = random_detection_workload(seed, n_clients=12, n_constraints=6)
+        strings = stringified(workload.instance)
+        with SqliteBackend.from_instance(strings) as backend:
+            loaded = backend.load_instance(workload.schema)
+            for constraint in workload.constraints:
+                classification = classify_pushdown(constraint, workload.schema)
+                if classification.unconditional:
+                    # No data shape may force a refusal - not even one
+                    # with strings in every hard column.
+                    pushed = find_violations(loaded, constraint, engine="pushdown")
+                    interpreted = find_violations(
+                        strings, constraint, engine="interpreted"
+                    )
+                    assert pushed == interpreted
+                else:
+                    # Every conditional attribute now holds strings, so
+                    # the backend must refuse this constraint.
+                    with pytest.raises(PushdownError):
+                        find_violations(loaded, constraint, engine="pushdown")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_integer_data_always_pushes_down(self, seed):
+        workload = random_detection_workload(seed, n_clients=12, n_constraints=6)
+        with SqliteBackend.from_instance(workload.instance) as backend:
+            loaded = backend.load_instance(workload.schema)
+            for constraint in workload.constraints:
+                pushed = find_violations(loaded, constraint, engine="pushdown")
+                interpreted = find_violations(
+                    workload.instance, constraint, engine="interpreted"
+                )
+                assert pushed == interpreted

@@ -1,0 +1,101 @@
+"""The shared witness-streaming helper behind both SQL backends."""
+
+import pytest
+
+from repro import parse_denial
+from repro.constraints.sql import AtomColumns, ViolationQuery, violation_query
+from repro.exceptions import ConstraintError
+from repro.storage import DEFAULT_BATCH_ROWS, SqliteBackend
+from repro.storage.witnesses import stream_witness_sets
+from repro.violations.detector import find_violations
+from repro.workloads import client_buy_workload
+
+
+@pytest.fixture
+def workload():
+    return client_buy_workload(40, inconsistency_ratio=0.5, seed=2)
+
+
+def _streamed(workload, constraint, batch_size, max_violations=None):
+    with SqliteBackend.from_instance(workload.instance) as backend:
+        loaded = backend.load_instance(workload.schema)
+        compiled = violation_query(constraint, workload.schema)
+        cursor = backend._cursor()
+        cursor.execute(compiled.sql)
+        return stream_witness_sets(
+            cursor.fetchmany,
+            compiled,
+            loaded,
+            max_violations=max_violations,
+            batch_size=batch_size,
+        )
+
+
+class TestBatching:
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, DEFAULT_BATCH_ROWS])
+    def test_batch_size_never_changes_results(self, workload, batch_size):
+        for constraint in workload.constraints:
+            expected = {
+                frozenset(v)
+                for v in find_violations(
+                    workload.instance, constraint, engine="interpreted"
+                )
+            }
+            baseline = _streamed(workload, constraint, DEFAULT_BATCH_ROWS)
+            assert _streamed(workload, constraint, batch_size) == baseline
+            # The streamed sets are pre-minimality: every minimal
+            # violation set the engines report must be among them.
+            assert expected <= baseline
+
+    def test_valve_counts_rows_not_sets(self, workload):
+        constraint = workload.constraints[0]
+        unbounded = _streamed(workload, constraint, 3)
+        assert len(unbounded) > 1
+        with pytest.raises(ConstraintError) as exc:
+            _streamed(workload, constraint, 3, max_violations=1)
+        assert "more than 1 violation witnesses" in str(exc.value)
+        # The message is byte-identical to the in-memory engines'.
+        with pytest.raises(ConstraintError) as from_interpreted:
+            find_violations(
+                workload.instance,
+                constraint,
+                max_violations=1,
+                engine="interpreted",
+            )
+        assert str(exc.value) == str(from_interpreted.value)
+
+
+class TestNonContiguousFallback:
+    def test_generic_path_matches_sliced_path(self):
+        """Reversed composite-key columns exercise the per-index fallback."""
+        from repro.workloads import tpch_like_workload
+
+        workload = tpch_like_workload(
+            scale_factor=0.2, violation_ratio=0.05, seed=5
+        )
+        constraint = parse_denial(
+            "NOT(Lineitem(ok, ln, q, ep, d, sd), q > 45)"
+        )
+        compiled = violation_query(constraint, workload.schema)
+        assert "SELECT r0.orderkey, r0.linenumber" in compiled.sql
+        with SqliteBackend.from_instance(workload.instance) as backend:
+            loaded = backend.load_instance(workload.schema)
+            cursor = backend._cursor()
+            cursor.execute(compiled.sql)
+            fast = stream_witness_sets(cursor.fetchmany, compiled, loaded)
+            # Same witnesses, but projected with the composite key's
+            # columns reversed - (1, 0) is not an ascending span, so the
+            # helper must take the generic per-index path.
+            swapped = ViolationQuery(
+                constraint=compiled.constraint,
+                sql=compiled.sql.replace(
+                    "SELECT r0.orderkey, r0.linenumber",
+                    "SELECT r0.linenumber, r0.orderkey",
+                    1,
+                ),
+                atoms=(AtomColumns(compiled.atoms[0].relation_name, (1, 0)),),
+            )
+            cursor.execute(swapped.sql)
+            generic = stream_witness_sets(cursor.fetchmany, swapped, loaded)
+        assert generic == fast
+        assert fast  # the corruption injects q > 45 violations

@@ -98,6 +98,49 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([config_path, "--solver-engine", "vectorized"])
 
+    def test_engine_rejects_unknown(self, config_path, capsys):
+        with pytest.raises(SystemExit):
+            main([config_path, "--engine", "vectorized"])
+        assert "pushdown" in capsys.readouterr().err
+
+    def test_pushdown_engine_over_sqlite_source(self, tmp_path, capsys):
+        from repro.storage import SqliteBackend
+        from repro.workloads import client_buy_workload
+
+        workload = client_buy_workload(30, inconsistency_ratio=0.4, seed=8)
+        db_path = tmp_path / "clients.db"
+        SqliteBackend.from_instance(workload.instance, str(db_path)).close()
+        data = {
+            "schema": {
+                "relations": [
+                    {
+                        "name": "Client",
+                        "key": ["id"],
+                        "attributes": [
+                            {"name": "id"},
+                            {"name": "a", "flexible": True},
+                            {"name": "c", "flexible": True},
+                        ],
+                    },
+                    {
+                        "name": "Buy",
+                        "key": ["id", "i"],
+                        "attributes": [
+                            {"name": "id"},
+                            {"name": "i"},
+                            {"name": "p", "flexible": True},
+                        ],
+                    },
+                ]
+            },
+            "constraints": ["ic1: NOT(Client(id, a, c), a < 18, c > 50)"],
+            "source": {"backend": "sqlite", "path": str(db_path)},
+        }
+        config = tmp_path / "pushdown.json"
+        config.write_text(json.dumps(data))
+        assert main([str(config), "--engine", "pushdown", "--dry-run"]) == 0
+        assert "verified D'|=IC  : True" in capsys.readouterr().out
+
 
 @pytest.fixture
 def nonlocal_config_path(tmp_path, config_path):

@@ -167,6 +167,34 @@ class TestRuntimeBlock:
         data["runtime"] = {"solver_engine": "flat"}
         assert RepairConfig.from_dict(data).solver_engine == "flat"
 
+    def test_detection_engine_parsed(self):
+        data = minimal_config()
+        assert RepairConfig.from_dict(data).detection_engine == "auto"
+        for engine in ("kernel", "interpreted", "pushdown"):
+            data["runtime"] = {"engine": engine}
+            assert RepairConfig.from_dict(data).detection_engine == engine
+
+    def test_unknown_detection_engine_rejected(self):
+        data = minimal_config()
+        data["runtime"] = {"engine": "vectorized"}
+        with pytest.raises(ConfigError, match="pushdown") as exc:
+            RepairConfig.from_dict(data)
+        assert "runtime.engine" in str(exc.value)
+
+
+class TestDuckdbSource:
+    def test_duckdb_source_parsed(self):
+        data = minimal_config()
+        data["source"] = {"backend": "duckdb", "path": "clients.duckdb"}
+        config = RepairConfig.from_dict(data)
+        assert config.source["backend"] == "duckdb"
+
+    def test_duckdb_source_needs_path(self):
+        data = minimal_config()
+        data["source"] = {"backend": "duckdb"}
+        with pytest.raises(ConfigError, match="path"):
+            RepairConfig.from_dict(data)
+
 
 class TestLintBlock:
     def test_default_is_off(self):

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints.parser import parse_denial
-from repro.exceptions import ConstraintError, KernelError
+from repro.exceptions import ConfigError, ConstraintError, KernelError
 from repro.model.columnar import ColumnarRelation, kernel_available, store_for
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import Attribute, Relation, Schema
@@ -50,8 +50,9 @@ def _big_int_instance() -> tuple[DatabaseInstance, "Schema"]:
 
 class TestEngineDispatch:
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ConstraintError):
+        with pytest.raises(ConfigError) as exc:
             resolve_engine("vectorized")
+        assert "auto|kernel|interpreted|pushdown" in str(exc.value)
 
     def test_auto_resolves_to_kernel_with_numpy(self):
         assert resolve_engine("auto") == "kernel"

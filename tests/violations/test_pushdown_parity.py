@@ -1,0 +1,95 @@
+"""Property-based engine parity: pushdown vs kernel vs interpreted.
+
+Parametrized over every available SQL backend - sqlite always, DuckDB
+only when the optional ``repro[duckdb]`` extra is installed (the DuckDB
+leg skips cleanly otherwise).  The property: for any random detection
+workload, every constraint either pushes down to a byte-identical
+result, or is refused with :class:`PushdownError` (never a wrong
+answer), in which case ``engine="auto"`` still matches the interpreted
+baseline through the fallback.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import parse_denial
+from repro.exceptions import PushdownError
+from repro.storage import SqliteBackend, duckdb_available
+from repro.violations.detector import find_all_violations, find_violations
+from repro.workloads import random_detection_workload
+
+
+def _backend_classes():
+    classes = [pytest.param(SqliteBackend, id="sqlite")]
+    if duckdb_available():
+        from repro.storage import DuckDBBackend
+
+        classes.append(pytest.param(DuckDBBackend, id="duckdb"))
+    else:
+        classes.append(
+            pytest.param(
+                None,
+                id="duckdb",
+                marks=pytest.mark.skip(reason="duckdb not installed"),
+            )
+        )
+    return classes
+
+
+BACKENDS = _backend_classes()
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_engines_agree_on_random_workloads(backend_cls, seed):
+    workload = random_detection_workload(seed, n_clients=14, n_constraints=5)
+    interpreted = find_all_violations(
+        workload.instance, workload.constraints, engine="interpreted"
+    )
+    with backend_cls.from_instance(workload.instance) as backend:
+        loaded = backend.load_instance(workload.schema)
+        assert loaded == workload.instance
+        # auto must match byte-for-byte whether it pushes down or not.
+        assert (
+            find_all_violations(loaded, workload.constraints, engine="auto")
+            == interpreted
+        )
+        for constraint in workload.constraints:
+            expected = find_violations(
+                workload.instance, constraint, engine="interpreted"
+            )
+            try:
+                pushed = find_violations(loaded, constraint, engine="pushdown")
+            except PushdownError:
+                continue  # refused, never wrong - auto already checked
+            assert pushed == expected
+
+
+#: Offset comparisons (``x θ y + c``) are the subtlest SQL translation:
+#: the offset moves to the RHS as literal arithmetic, and operand order
+#: must survive the round-trip.  Exercised across every comparator.
+OFFSET_CONSTRAINTS = (
+    "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p > p2 + 5)",
+    "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p < p2 - 3)",
+    "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p >= p2 + 10)",
+    "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p <= p2 - 7)",
+    "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p = p2 + 2)",
+    "NOT(Buy(x, i, p), Buy(y, i2, p2), x < y, p != p2 + 1)",
+    "NOT(Client(x, a, c), Buy(x, i, p), p > a + 4)",
+)
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+@pytest.mark.parametrize("text", OFFSET_CONSTRAINTS)
+def test_offset_comparison_round_trip(backend_cls, text):
+    workload = random_detection_workload(21, n_clients=20, n_constraints=1)
+    constraint = parse_denial(text)
+    expected = find_violations(workload.instance, constraint, engine="interpreted")
+    with backend_cls.from_instance(workload.instance) as backend:
+        loaded = backend.load_instance(workload.schema)
+        assert find_violations(loaded, constraint, engine="pushdown") == expected
