@@ -14,9 +14,9 @@ from repro.storage import SqliteBackend
 from repro.violations import find_all_violations
 from repro.workloads import client_buy_workload
 
-from conftest import record_point
+from conftest import bench_sizes, record_point
 
-SIZES = [500, 2000]
+SIZES = bench_sizes([500, 2000], quick=[500])
 TABLE = "Ablation: violation detection backend (seconds)"
 
 _WORKLOADS = {}

@@ -14,9 +14,9 @@ import pytest
 from repro import cardinality_repair, inconsistency_profile, is_consistent
 from repro.workloads import client_buy_workload
 
-from conftest import record_point
+from conftest import bench_sizes, record_point
 
-SIZES = [100, 400, 1600]
+SIZES = bench_sizes([100, 400, 1600], quick=[100, 400])
 TABLE = "Ablation: cardinality repair end-to-end (seconds)"
 
 

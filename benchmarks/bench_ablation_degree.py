@@ -16,10 +16,10 @@ import pytest
 from repro.setcover import modified_greedy_cover
 from repro.violations.degree import degree_of_database
 
-from conftest import census_problem, record_point
+from conftest import bench_sizes, census_problem, record_point
 
 TOTAL_PERSONS = 2400
-HOUSEHOLD_SIZES = [2, 4, 8, 16]
+HOUSEHOLD_SIZES = bench_sizes([2, 4, 8, 16], quick=[2, 4])
 TABLE = "Ablation: modified-greedy runtime vs degree bound (census)"
 
 

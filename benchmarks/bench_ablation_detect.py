@@ -28,10 +28,10 @@ from repro.model.columnar import kernel_available, store_for
 from repro.violations.detector import find_all_violations, find_violations
 from repro.workloads import client_buy_workload
 
-from conftest import quick_mode, record_bench_json, record_point
+from conftest import bench_sizes, quick_mode, record_bench_json, record_point
 
 TABLE = "Ablation: detection engines (seconds, mean of 3)"
-SIZES = [1000] if quick_mode() else [5000, 20000]
+SIZES = bench_sizes([5000, 20000], quick=[1000])
 LARGEST = SIZES[-1]
 
 #: accumulated across tests; record_bench_json merges by reference, so the

@@ -14,7 +14,9 @@ import pytest
 from repro import IncrementalRepairer, is_consistent, repair_database
 from repro.workloads import client_buy_workload
 
-from conftest import record_point
+from conftest import bench_sizes, record_point
+
+SIZES = bench_sizes([500, 2000], quick=[500])
 
 TABLE = "Ablation: incremental commit vs full re-repair (seconds)"
 BATCH = 10      # dirty clients (each with one bad purchase) per commit
@@ -39,7 +41,7 @@ def _touch(instance):
     instance.delete("Client", (99_999,))
 
 
-@pytest.mark.parametrize("n_clients", [500, 2000])
+@pytest.mark.parametrize("n_clients", SIZES)
 def test_incremental_commit(benchmark, n_clients):
     workload = _base(n_clients)
     repairer = IncrementalRepairer(workload.instance, workload.constraints)
@@ -61,7 +63,7 @@ def test_incremental_commit(benchmark, n_clients):
     assert is_consistent(repairer.instance, workload.constraints)
 
 
-@pytest.mark.parametrize("n_clients", [500, 2000])
+@pytest.mark.parametrize("n_clients", SIZES)
 def test_full_rerepair(benchmark, n_clients):
     workload = _base(n_clients)
     clean = repair_database(workload.instance, workload.constraints).repaired

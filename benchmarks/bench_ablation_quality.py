@@ -29,14 +29,17 @@ from repro.setcover import (
 from repro.setcover.lp import lp_lower_bound, lp_rounding_cover
 from repro.workloads import census_workload, corrupt
 
-from conftest import clientbuy_problem, record_point
+from conftest import bench_sizes, clientbuy_problem, record_point
+
+SIZES = bench_sizes([100, 400], quick=[100])
+OFFSETS = bench_sizes([10, 50, 100], quick=[10, 50])
 
 GAP_TABLE = "Ablation: optimality gap vs decomposed exact (tight values)"
 LP_TABLE = "Ablation: cover weight vs LP lower bound (tight values)"
 ACC_TABLE = "Ablation: ground-truth accuracy vs error magnitude (census)"
 
 
-@pytest.mark.parametrize("n_clients", [100, 400])
+@pytest.mark.parametrize("n_clients", SIZES)
 def test_optimality_gap(benchmark, n_clients):
     problem = clientbuy_problem(n_clients, seed=0, tight_values=True)
     components = decompose(problem.setcover)
@@ -56,7 +59,7 @@ def test_optimality_gap(benchmark, n_clients):
     benchmark.extra_info["components"] = len(components)
 
 
-@pytest.mark.parametrize("n_clients", [100, 400])
+@pytest.mark.parametrize("n_clients", SIZES)
 def test_lp_bound_anchor(benchmark, n_clients):
     problem = clientbuy_problem(n_clients, seed=0, tight_values=True)
     benchmark.group = "lp"
@@ -75,7 +78,7 @@ def test_lp_bound_anchor(benchmark, n_clients):
     assert optimal.weight <= 1.2 * bound + 1e-6
 
 
-@pytest.mark.parametrize("max_offset", [10, 50, 100])
+@pytest.mark.parametrize("max_offset", OFFSETS)
 def test_ground_truth_accuracy(benchmark, max_offset):
     truth = census_workload(400, household_size=3, dirty_ratio=0.0, seed=1)
     corruption = corrupt(

@@ -32,9 +32,9 @@ import pytest
 
 from repro.setcover import exact_cover, greedy_cover, layer_cover
 
-from conftest import clientbuy_problem, record_point
+from conftest import bench_sizes, clientbuy_problem, record_point
 
-SIZES = [50, 100, 200, 400, 800]
+SIZES = bench_sizes([50, 100, 200, 400, 800], quick=[50, 100, 200])
 SEEDS = [0, 1, 2]                  # "3 random databases ... averaged"
 TABLE_WIDE = "Figure 2: avg cover weight, wide value spread (3 seeds)"
 TABLE_TIGHT = "Figure 2: avg cover weight, tight value spread (3 seeds)"

@@ -27,6 +27,7 @@ from repro.setcover import (
 )
 
 from conftest import (
+    bench_sizes,
     clientbuy_problem,
     quick_mode,
     record_bench_json,
@@ -36,8 +37,8 @@ from conftest import (
 
 QUICK = quick_mode()
 TRACE = trace_mode()
-SIZES = [250, 500] if QUICK else [250, 500, 1000, 2000]
-LARGE_SIZES = [1000] if QUICK else [4000, 8000]   # modified variants only
+SIZES = bench_sizes([250, 500, 1000, 2000], quick=[250, 500])
+LARGE_SIZES = bench_sizes([4000, 8000], quick=[1000])   # modified variants only
 TABLE = "Figure 3: solver runtime (seconds, single run)"
 
 ALGORITHMS = {
@@ -120,7 +121,7 @@ def test_fig3_shape_assertions(benchmark):
 
 # -- parallel runtime: serial vs process pool, end to end ---------------------
 
-PARALLEL_CLIENTS = 2_000 if QUICK else 4_000   # total tuples ~= 3x clients
+PARALLEL_CLIENTS = bench_sizes(4_000, quick=2_000)   # total tuples ~= 3x clients
 PARALLEL_WORKERS = 4
 
 

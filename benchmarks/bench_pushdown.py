@@ -37,10 +37,10 @@ from repro.storage import SqliteBackend, duckdb_available
 from repro.violations.detector import find_all_violations
 from repro.workloads import tpch_like_workload
 
-from conftest import quick_mode, record_bench_json, record_point
+from conftest import bench_sizes, quick_mode, record_bench_json, record_point
 
 TABLE = "Pushdown: detection engines (seconds, cold, best of 3)"
-SIZES = [5.0] if quick_mode() else [5.0, 20.0, 50.0]
+SIZES = bench_sizes([5.0, 20.0, 50.0], quick=[5.0])
 LARGEST = SIZES[-1]
 VIOLATION_RATIO = 0.01
 ROUNDS = 3

@@ -14,15 +14,19 @@ from __future__ import annotations
 from repro import repair_database
 from repro.workloads import client_buy_workload
 
-from conftest import record_point
+from conftest import bench_sizes, record_point
+
+N_CLIENTS = bench_sizes(50_000, quick=5_000)
+MIN_TUPLES = bench_sizes(120_000, quick=12_000)
+MIN_VIOLATIONS = bench_sizes(5_000, quick=500)
 
 TABLE = "Scale: full pipeline phases at ~150k tuples (seconds)"
 
 
 def test_large_database_end_to_end(benchmark):
-    workload = client_buy_workload(50_000, inconsistency_ratio=0.30, seed=0)
+    workload = client_buy_workload(N_CLIENTS, inconsistency_ratio=0.30, seed=0)
     n_tuples = len(workload.instance)
-    assert n_tuples > 120_000
+    assert n_tuples > MIN_TUPLES
 
     benchmark.group = "scale"
     result = benchmark.pedantic(
@@ -36,7 +40,7 @@ def test_large_database_end_to_end(benchmark):
         iterations=1,
     )
     assert result.verified
-    assert result.violations_before > 5_000
+    assert result.violations_before > MIN_VIOLATIONS
     for phase, seconds in result.elapsed_seconds.items():
         record_point(TABLE, phase, n_tuples, seconds)
     record_point(TABLE, "violations", n_tuples, float(result.violations_before))

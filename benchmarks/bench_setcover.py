@@ -29,7 +29,13 @@ import pytest
 
 from repro.setcover import SetCoverInstance, get_solver, strip_engine_stats
 
-from conftest import clientbuy_problem, quick_mode, record_bench_json, record_point
+from conftest import (
+    bench_sizes,
+    clientbuy_problem,
+    quick_mode,
+    record_bench_json,
+    record_point,
+)
 
 TABLE = "Set-cover engines (seconds, mean of 3)"
 QUICK = quick_mode()
@@ -37,10 +43,10 @@ QUICK = quick_mode()
 #: Universe sizes for the synthetic family.  The object greedy is
 #: quadratic-ish here, so it is only timed up to OBJECT_CUTOFF; flat-only
 #: sizes in full mode reach the million-element target.
-SIZES = [2_000, 10_000] if QUICK else [20_000, 100_000, 1_000_000]
-OBJECT_CUTOFF = 10_000 if QUICK else 20_000
+SIZES = bench_sizes([20_000, 100_000, 1_000_000], quick=[2_000, 10_000])
+OBJECT_CUTOFF = bench_sizes(20_000, quick=10_000)
 GATE_SIZE = max(s for s in SIZES if s <= OBJECT_CUTOFF)
-WORKLOAD_CLIENTS = 500 if QUICK else 3_000
+WORKLOAD_CLIENTS = bench_sizes(3_000, quick=500)
 BLOCK = 10
 
 POINTS: dict = {}

@@ -74,6 +74,17 @@ def quick_mode() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "").lower() not in ("", "0", "false")
 
 
+def bench_sizes(full, quick):
+    """Pick benchmark scale: ``full`` normally, ``quick`` in CI smoke runs.
+
+    The one place the ``REPRO_BENCH_QUICK`` switch turns into concrete
+    sizes - every ``bench_*.py`` declares both scales through this helper
+    instead of open-coding the conditional, so the smoke/full split stays
+    greppable and uniform.  Works for size lists and scalar knobs alike.
+    """
+    return quick if quick_mode() else full
+
+
 def trace_mode() -> bool:
     """True when ``REPRO_BENCH_TRACE`` asks benchmarks to record traces.
 

@@ -41,6 +41,7 @@ Quickstart::
 
 from repro.exceptions import (
     BackendError,
+    BackpressureError,
     ConfigError,
     ConstraintError,
     ConstraintParseError,
@@ -95,6 +96,8 @@ from repro.repair import (
     CellChange,
     IncrementalRepairer,
     RepairResult,
+    StreamingRepairer,
+    StreamStats,
     build_repair_problem,
     repair_database,
 )
@@ -114,6 +117,7 @@ __version__ = "1.0.0"
 __all__ = [
     # exceptions
     "BackendError",
+    "BackpressureError",
     "ConfigError",
     "ConstraintError",
     "ConstraintParseError",
@@ -163,6 +167,8 @@ __all__ = [
     "CellChange",
     "IncrementalRepairer",
     "RepairResult",
+    "StreamingRepairer",
+    "StreamStats",
     "build_repair_problem",
     "repair_database",
     # cardinality

@@ -60,6 +60,23 @@ class RepairError(ReproError):
     """The repair computation itself failed."""
 
 
+class BackpressureError(RepairError):
+    """A streaming-repair submission exceeded ``max_pending_updates``.
+
+    Raised by :class:`~repro.repair.streaming.StreamingRepairer` under the
+    ``"error"`` backpressure policy when accepting one more update would
+    push the pending (coalesced) queue past its bound.  The rejected
+    update is *not* enqueued - callers own the retry - and nothing
+    already queued is dropped.  ``pending`` / ``max_pending`` carry the
+    queue state at rejection time.
+    """
+
+    def __init__(self, message: str, pending: int = 0, max_pending: int = 0) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.max_pending = max_pending
+
+
 class UnrepairableError(RepairError):
     """No repair candidate exists for the given instance and constraints."""
 

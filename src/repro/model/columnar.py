@@ -24,7 +24,7 @@ engine treats as "stay on the interpreted path".
 from __future__ import annotations
 
 import weakref
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.exceptions import KernelError
 from repro.model.instance import DatabaseInstance
@@ -171,6 +171,25 @@ class ColumnarStore:
         self.invalidate(old.relation.name)
         self.invalidate(new.relation.name)
 
+    def rekey(
+        self, instance: DatabaseInstance, drop: Iterable[str] = ()
+    ) -> None:
+        """Re-stamp cached snapshots with ``instance``'s version counters.
+
+        Used when warm snapshots are carried over to a *content-identical*
+        successor instance whose version counters restarted (instance
+        copies reset them): relations named in ``drop`` lose their
+        snapshot, every other cached snapshot is re-keyed to the new
+        instance's current version so the next access is a hit.  Callers
+        own the content-identity precondition.
+        """
+        for relation_name in drop:
+            self._snapshots.pop(relation_name, None)
+        for relation_name, (_version, snapshot) in list(self._snapshots.items()):
+            self._snapshots[relation_name] = (
+                instance.data_version(relation_name), snapshot
+            )
+
     @property
     def cached_relations(self) -> tuple[str, ...]:
         """Which snapshots currently exist (diagnostics/tests)."""
@@ -201,4 +220,44 @@ def store_for(instance: DatabaseInstance) -> ColumnarStore:
     except TypeError:  # pragma: no cover - DatabaseInstance is weakref-able
         return store
     _STORES[key] = (ref, store)
+    return store
+
+
+def transfer_store(
+    old_instance: DatabaseInstance,
+    new_instance: DatabaseInstance,
+    changed_relations: Iterable[str] = (),
+) -> ColumnarStore:
+    """Carry one instance's warm snapshots over to its successor.
+
+    The incremental repairer historically swapped instance objects when
+    applying a repair, which made every kernel snapshot die with the old
+    object even though only the repaired relations actually changed.
+    This re-homes the old instance's store under the new object, drops
+    the snapshots of ``changed_relations``, and re-keys the surviving
+    ones to the new instance's version counters (an instance copy resets
+    them, so raw version comparison across the swap would be
+    meaningless).  Precondition: the two instances agree on every
+    relation *not* named in ``changed_relations``.
+
+    Returns the (possibly empty) store now serving ``new_instance``.
+    """
+    if old_instance is new_instance:
+        store = store_for(new_instance)
+        store.rekey(new_instance, drop=changed_relations)
+        return store
+    key = id(old_instance)
+    entry = _STORES.pop(key, None)
+    if entry is None or entry[0]() is not old_instance:
+        return store_for(new_instance)
+    store = entry[1]
+    store.rekey(new_instance, drop=changed_relations)
+    new_key = id(new_instance)
+    try:
+        ref = weakref.ref(
+            new_instance, lambda _ref, _key=new_key: _STORES.pop(_key, None)
+        )
+    except TypeError:  # pragma: no cover - DatabaseInstance is weakref-able
+        return store
+    _STORES[new_key] = (ref, store)
     return store

@@ -32,10 +32,14 @@ import functools
 from typing import Any, Callable
 
 from repro.obs.export import (
+    LATENCY_SPANS,
     TRACE_FORMATS,
     chrome_trace,
+    format_latency,
     format_summary,
+    latency_summary,
     load_trace,
+    percentile,
     render_tree,
     summarize_trace,
     trace_from_chrome,
@@ -53,6 +57,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "LATENCY_SPANS",
     "NULL_TRACER",
     "TRACE_FORMATS",
     "Counter",
@@ -65,9 +70,12 @@ __all__ = [
     "as_tracer",
     "chrome_trace",
     "current_tracer",
+    "format_latency",
     "format_summary",
+    "latency_summary",
     "load_trace",
     "normalize_solver_stats",
+    "percentile",
     "render_tree",
     "summarize_trace",
     "trace_from_chrome",

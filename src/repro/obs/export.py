@@ -203,15 +203,39 @@ def trace_from_chrome(data: Mapping[str, Any]) -> Trace:
 # summary table (the `repro trace` subcommand)
 
 
-def summarize_trace(trace: Trace) -> list[dict[str, Any]]:
-    """Aggregate spans by name: count, wall, CPU, share of root wall.
+def percentile(values: "list[float]", q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
 
-    Rows are sorted by total wall seconds, descending; the share column
-    is relative to the summed root-span wall time (100% = the whole
-    traced run).
+    ``q`` is in ``[0, 100]``.  Matches ``numpy.percentile``'s default
+    (``"linear"``) method without requiring NumPy; raises
+    :class:`ReproError` on an empty input.
+    """
+    if not values:
+        raise ReproError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"percentile must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def summarize_trace(trace: Trace) -> list[dict[str, Any]]:
+    """Aggregate spans by name: count, wall, CPU, p50/p99, share of root wall.
+
+    Rows are sorted by total wall seconds, descending; ``p50_seconds`` /
+    ``p99_seconds`` are percentiles over the individual span durations
+    (equal to the single duration when a name occurred once); the share
+    column is relative to the summed root-span wall time (100% = the
+    whole traced run).
     """
     total_wall = sum(root.duration or 0.0 for root in trace.roots) or 1.0
     rows: dict[str, dict[str, Any]] = {}
+    durations: dict[str, list[float]] = {}
     for span in trace.spans():
         row = rows.setdefault(
             span.name,
@@ -221,9 +245,12 @@ def summarize_trace(trace: Trace) -> list[dict[str, Any]]:
         row["count"] += 1
         row["wall_seconds"] += span.duration or 0.0
         row["cpu_seconds"] += span.cpu or 0.0
+        durations.setdefault(span.name, []).append(span.duration or 0.0)
     result = sorted(rows.values(), key=lambda r: -r["wall_seconds"])
     for row in result:
         row["share"] = row["wall_seconds"] / total_wall
+        row["p50_seconds"] = percentile(durations[row["name"]], 50.0)
+        row["p99_seconds"] = percentile(durations[row["name"]], 99.0)
     return result
 
 
@@ -234,7 +261,8 @@ def format_summary(trace: Trace) -> str:
         return "(empty trace)"
     name_width = max(len("span"), *(len(r["name"]) for r in rows))
     lines = [
-        f"{'span':<{name_width}}  {'count':>6}  {'wall':>10}  {'cpu':>10}  {'share':>6}"
+        f"{'span':<{name_width}}  {'count':>6}  {'wall':>10}  {'cpu':>10}  "
+        f"{'p50':>10}  {'p99':>10}  {'share':>6}"
     ]
     lines.append("-" * len(lines[0]))
     for row in rows:
@@ -242,7 +270,78 @@ def format_summary(trace: Trace) -> str:
             f"{row['name']:<{name_width}}  {row['count']:>6}  "
             f"{_format_seconds(row['wall_seconds']):>10}  "
             f"{_format_seconds(row['cpu_seconds']):>10}  "
+            f"{_format_seconds(row['p50_seconds']):>10}  "
+            f"{_format_seconds(row['p99_seconds']):>10}  "
             f"{row['share']:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# commit-latency distribution (the `repro trace --latency` flag)
+
+
+#: Span names :func:`latency_summary` reports by default: streaming commit
+#: rounds and the per-commit pipeline stages they wrap.
+LATENCY_SPANS = ("stream-round", "commit", "detect", "reduce", "solve", "apply")
+
+
+def latency_summary(
+    trace: Trace, names: "tuple[str, ...]" = LATENCY_SPANS
+) -> list[dict[str, Any]]:
+    """Latency distribution of the commit pipeline's repeated spans.
+
+    For each span name in ``names`` that occurs in the trace, reports
+    ``count``, ``mean_seconds``, ``p50_seconds``, ``p99_seconds`` and
+    ``max_seconds`` over the individual span durations - the endurance
+    view of a streaming run (is commit latency steady, what does the
+    tail look like), complementing :func:`summarize_trace`'s where-does
+    -the-time-go totals.  Rows keep the order of ``names``; names absent
+    from the trace are skipped.
+    """
+    durations: dict[str, list[float]] = {}
+    for span in trace.spans():
+        if span.name in names:
+            durations.setdefault(span.name, []).append(span.duration or 0.0)
+    rows: list[dict[str, Any]] = []
+    for name in names:
+        samples = durations.get(name)
+        if not samples:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "count": len(samples),
+                "total_seconds": sum(samples),
+                "mean_seconds": sum(samples) / len(samples),
+                "p50_seconds": percentile(samples, 50.0),
+                "p99_seconds": percentile(samples, 99.0),
+                "max_seconds": max(samples),
+            }
+        )
+    return rows
+
+
+def format_latency(
+    trace: Trace, names: "tuple[str, ...]" = LATENCY_SPANS
+) -> str:
+    """The :func:`latency_summary` rows as an aligned text table."""
+    rows = latency_summary(trace, names)
+    if not rows:
+        return "(no commit-pipeline spans in trace)"
+    name_width = max(len("span"), *(len(r["name"]) for r in rows))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>6}  {'mean':>10}  "
+        f"{'p50':>10}  {'p99':>10}  {'max':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{name_width}}  {row['count']:>6}  "
+            f"{_format_seconds(row['mean_seconds']):>10}  "
+            f"{_format_seconds(row['p50_seconds']):>10}  "
+            f"{_format_seconds(row['p99_seconds']):>10}  "
+            f"{_format_seconds(row['max_seconds']):>10}"
         )
     return "\n".join(lines)
 

@@ -12,6 +12,7 @@ from repro.repair.apply import apply_cover
 from repro.repair.engine import repair_database
 from repro.repair.incremental import IncrementalRepairer
 from repro.repair.result import CellChange, RepairResult
+from repro.repair.streaming import StreamingRepairer, StreamStats
 
 __all__ = [
     "RepairProblem",
@@ -19,6 +20,8 @@ __all__ = [
     "apply_cover",
     "repair_database",
     "IncrementalRepairer",
+    "StreamingRepairer",
+    "StreamStats",
     "CellChange",
     "RepairResult",
 ]

@@ -63,16 +63,22 @@ def _subsumes(challenger: CellChange, incumbent: CellChange) -> bool:
 
 
 def apply_cover(
-    problem: RepairProblem, cover: Cover
+    problem: RepairProblem, cover: Cover, in_place: bool = False
 ) -> tuple[DatabaseInstance, tuple[CellChange, ...], float]:
     """Build ``D(C)`` from a cover.
 
     Returns ``(repaired instance, applied changes, Δ(D, D(C)))``.  The
     distance is recomputed from the actually-applied combined fixes, so it
     accounts for subsumption (it can be below the cover weight).
+
+    ``in_place=True`` mutates ``problem.instance`` directly instead of
+    copying it first - the streaming commit path owns a private instance
+    and pays O(|D|) per round for the copy otherwise.  The applied
+    replacements are identical either way, so the resulting content is
+    byte-equal to the copying path.
     """
     merged = merge_cover_fixes(problem, cover.selected)
-    repaired = problem.instance.copy()
+    repaired = problem.instance if in_place else problem.instance.copy()
     changes: list[CellChange] = []
     total_distance = 0.0
     for ref in sorted(merged):

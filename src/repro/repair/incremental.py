@@ -30,8 +30,9 @@ from typing import Any, Iterable, Mapping
 
 from repro.constraints.denial import DenialConstraint
 from repro.constraints.locality import check_local_set
-from repro.exceptions import RepairError
+from repro.exceptions import RepairError, RuntimeConfigError
 from repro.fixes.distance import CITY_DISTANCE, DistanceMetric, get_metric
+from repro.model.columnar import transfer_store
 from repro.model.instance import DatabaseInstance
 from repro.model.tuples import Tuple
 from repro.obs import Tracer, as_tracer, normalize_solver_stats
@@ -74,6 +75,7 @@ class IncrementalRepairer:
         engine: str = "auto",
         solver_engine: str = "auto",
         trace: "bool | Tracer" = False,
+        shards: int | None = None,
     ) -> None:
         # One tracer observes the repairer's whole lifetime: every commit
         # adds a ``commit`` span (tagged with its delta-round number), so
@@ -100,9 +102,21 @@ class IncrementalRepairer:
         # ``parallel=True`` resolves to threads here, keeping the cache
         # hot while still letting sqlite-bound or multi-constraint
         # batches overlap.  The solve stage reuses the same policy.
+        if shards is not None and (
+            isinstance(shards, bool) or not isinstance(shards, int) or shards < 1
+        ):
+            raise RuntimeConfigError(
+                f"shards must be a positive integer or None, got {shards!r}"
+            )
+        self._shards = shards
         policy = ExecutionPolicy.resolve(parallel, max_workers)
         if policy.backend == "auto":
             policy = replace(policy, backend="thread")
+        if shards is not None and shards > 1 and policy.backend == "serial":
+            # Sharded anchored detection dispatches through the executor;
+            # asking for shards without a backend means "threads", the
+            # backend that can actually share the warm join-index cache.
+            policy = replace(policy, backend="thread", max_workers=max_workers or shards)
         self._policy = policy
         self._executor = Executor(policy)
         check_local_set(self._constraints, instance.schema)
@@ -182,7 +196,7 @@ class IncrementalRepairer:
 
     # -- committing ------------------------------------------------------------
 
-    def commit(self, verify: bool = False) -> RepairResult:
+    def commit(self, verify: bool = False, snapshot: bool = True) -> RepairResult:
         """Repair the violations the staged batch introduced.
 
         Returns the batch's :class:`RepairResult` (zero-change result when
@@ -190,6 +204,12 @@ class IncrementalRepairer:
         additionally re-checks global consistency - an O(|D|) sanity pass
         that defeats the purpose of incrementality, so it is off by
         default and exercised in tests.
+
+        ``snapshot=False`` is the sustained-throughput mode: the result's
+        ``repaired`` field is ``None`` (read :attr:`instance` on demand)
+        and the repair is applied *in place* instead of copy-on-apply, so
+        a commit round costs O(|Δ| + neighbourhood) instead of O(|D|).
+        The committed content is byte-identical either way.
         """
         self._rounds += 1
         with ExitStack() as ctx:
@@ -200,6 +220,7 @@ class IncrementalRepairer:
                     category="pipeline",
                     round=self._rounds,
                     staged=len(self._staged),
+                    **({"shards": self._shards} if self._shards else {}),
                 )
             )
             with self._tracer.span(
@@ -212,13 +233,14 @@ class IncrementalRepairer:
                     raw_indexes=self._join_indexes,
                     executor=self._executor if self._policy.is_parallel else None,
                     engine=self._engine,
+                    shards=self._shards,
                 )
                 detect_span.tag(violations=len(violations))
             self._staged = []
             if not violations:
                 commit_span.tag(consistent=True)
                 result = RepairResult(
-                    repaired=self._instance.copy(),
+                    repaired=self._instance.copy() if snapshot else None,
                     algorithm=str(self._algorithm),
                     cover_weight=0.0,
                     distance=0.0,
@@ -247,19 +269,13 @@ class IncrementalRepairer:
                 cover = self._solve(problem.setcover)
                 solve_span.tag(weight=cover.weight, selected=len(cover.selected))
             with self._tracer.span("apply", category="stage") as apply_span:
-                repaired, changes, distance = apply_cover(problem, cover)
-                for ref in {change.ref for change in changes}:
-                    self._join_indexes.notify_replace(
-                        self._instance.resolve(ref), repaired.resolve(ref)
-                    )
-                self._instance = repaired
-                self._join_indexes.rebind(self._instance)
+                repaired, changes, distance = self._apply(problem, cover, snapshot)
                 apply_span.tag(changes=len(changes), distance=distance)
             if verify:
                 with self._tracer.span("verify", category="stage"):
                     self._verify()
             return RepairResult(
-                repaired=repaired.copy(),
+                repaired=repaired.copy() if snapshot else None,
                 algorithm=cover.algorithm,
                 cover_weight=cover.weight,
                 distance=distance,
@@ -270,6 +286,41 @@ class IncrementalRepairer:
                 solver_iterations=cover.iterations,
                 solver_stats=normalize_solver_stats(dict(cover.stats)),
             )
+
+    def _apply(self, problem, cover, snapshot: bool):
+        """Apply one round's cover and keep the warm caches consistent.
+
+        The snapshot path preserves the historical copy-on-apply swap
+        (and carries the warm columnar store across it via
+        :func:`repro.model.columnar.transfer_store`); the streaming path
+        mutates the working instance in place, so join indexes are
+        maintained from the changes' recorded old values and the columnar
+        store invalidates itself through the bumped data versions.
+        """
+        if snapshot:
+            repaired, changes, distance = apply_cover(problem, cover)
+            for ref in {change.ref for change in changes}:
+                self._join_indexes.notify_replace(
+                    self._instance.resolve(ref), repaired.resolve(ref)
+                )
+            transfer_store(
+                self._instance,
+                repaired,
+                {change.ref.relation_name for change in changes},
+            )
+            self._instance = repaired
+            self._join_indexes.rebind(self._instance)
+            return repaired, changes, distance
+        repaired, changes, distance = apply_cover(problem, cover, in_place=True)
+        old_values_by_ref: dict[Any, dict[str, Any]] = {}
+        for change in changes:
+            old_values_by_ref.setdefault(change.ref, {})[
+                change.attribute
+            ] = change.old_value
+        for ref, old_values in old_values_by_ref.items():
+            new = self._instance.resolve(ref)
+            self._join_indexes.notify_replace(new.replace(old_values), new)
+        return repaired, changes, distance
 
     @property
     def tracer(self) -> "Tracer":

@@ -35,6 +35,10 @@ class RepairResult:
     ----------
     repaired:
         The repaired database instance ``D(C)`` (Definition 3.2).
+        ``None`` for snapshot-free streaming commits
+        (``IncrementalRepairer.commit(snapshot=False)``), where the
+        caller reads the live working instance instead of paying an
+        O(|D|) copy per round.
     algorithm:
         Name of the set-cover solver used.
     cover_weight:
@@ -63,7 +67,7 @@ class RepairResult:
         own :class:`~repro.obs.Tracer` - the caller finishes that one).
     """
 
-    repaired: DatabaseInstance
+    repaired: DatabaseInstance | None
     algorithm: str
     cover_weight: float
     distance: float

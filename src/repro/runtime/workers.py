@@ -196,6 +196,26 @@ def detect_anchored_batch(payload: tuple) -> "list[tuple] | tuple[list[tuple], d
     return results
 
 
+def detect_anchored_shard_batch(payload: tuple) -> list:
+    """Raw anchored witness sets for one batch of (constraint, shard) units.
+
+    ``payload`` is ``(instance, pairs, raw_indexes)`` where each pair is
+    ``(constraint, anchor_chunk)``; the result is one
+    ``set[frozenset[Tuple]]`` per pair, in batch order.  Unlike the
+    ``ViolationSet``-shaped batches above, shard results are *pre-funnel*:
+    the dispatcher unions them per constraint before minimality reduction,
+    which is what keeps sharded detection byte-identical to serial (see
+    :func:`repro.violations.detector.anchored_used_sets`).
+    """
+    instance, pairs, raw_indexes = payload
+    from repro.violations.detector import anchored_used_sets
+
+    return [
+        anchored_used_sets(instance, constraint, anchors, raw_indexes)
+        for constraint, anchors in pairs
+    ]
+
+
 def detection_cost(constraint: Any) -> float:
     """Rough relative cost of detecting one constraint's violations.
 

@@ -7,7 +7,9 @@ choices; ``--changes`` also prints each cell update.  ``--trace`` records
 the run with the observability layer (:mod:`repro.obs`) and prints the
 span tree; ``--trace-out FILE`` writes it (``--trace-format``: ``chrome``
 for ``chrome://tracing`` / Perfetto, ``json`` for the lossless native
-form, ``tree`` for the text report).
+form, ``tree`` for the text report).  ``--stream`` (with
+``--max-pending`` / ``--commit-interval``) runs the pipeline in
+streaming-repair mode (see :mod:`repro.repair.streaming`).
 
 ``repro lint`` runs the static constraint analyzer (:mod:`repro.lint`)
 over the ``(schema, constraints)`` of one or more configuration files
@@ -16,8 +18,9 @@ means no diagnostics at or above ``--fail-on``; 1 means the gate fired;
 2 means a usage or configuration error.
 
 ``repro trace <file>`` replays a saved trace (native or Chrome format)
-as an aggregated summary table - count, wall, CPU and share per span
-name; ``--tree`` prints the full span tree instead.
+as an aggregated summary table - count, wall, CPU, p50/p99 and share
+per span name; ``--tree`` prints the full span tree instead, and
+``--latency`` the commit-latency distribution of a streaming run.
 """
 
 from __future__ import annotations
@@ -87,6 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical either way)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the pipeline in streaming-repair mode: rows are fed "
+        "through a bounded, coalescing commit queue "
+        "(StreamingRepairer) instead of being repaired in one batch; "
+        "requires update semantics",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        metavar="N",
+        help="streaming queue bound before backpressure engages "
+        "(implies --stream; default 1024)",
+    )
+    parser.add_argument(
+        "--commit-interval",
+        type=int,
+        metavar="N",
+        help="streamed operations per auto-committed repair round "
+        "(implies --stream; default 256)",
+    )
+    parser.add_argument(
         "--profile-only",
         action="store_true",
         help="print the inconsistency profile and exit without repairing",
@@ -144,6 +169,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             overrides["detection_engine"] = args.engine
         if args.solver_engine:
             overrides["solver_engine"] = args.solver_engine
+        if args.stream or args.max_pending is not None or args.commit_interval is not None:
+            overrides["streaming_enabled"] = True
+        if args.max_pending is not None:
+            if args.max_pending < 1:
+                print("error: --max-pending must be >= 1", file=sys.stderr)
+                return 1
+            overrides["streaming_max_pending"] = args.max_pending
+        if args.commit_interval is not None:
+            if args.commit_interval < 1:
+                print("error: --commit-interval must be >= 1", file=sys.stderr)
+                return 1
+            overrides["streaming_commit_interval"] = args.commit_interval
         if args.trace or args.trace_out or args.trace_format:
             overrides["trace_enabled"] = True
         if args.trace_out:
@@ -333,12 +370,18 @@ def build_trace_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full span tree instead of the summary table",
     )
+    parser.add_argument(
+        "--latency",
+        action="store_true",
+        help="print the commit-latency distribution (count, mean, p50, "
+        "p99, max per commit-pipeline span) instead of the summary table",
+    )
     return parser
 
 
 def trace_main(argv: Sequence[str] | None = None) -> int:
     """``repro trace`` entry point; returns the process exit code."""
-    from repro.obs import format_summary, load_trace, render_tree
+    from repro.obs import format_latency, format_summary, load_trace, render_tree
 
     args = build_trace_parser().parse_args(argv)
     try:
@@ -346,7 +389,12 @@ def trace_main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    print(render_tree(trace) if args.tree else format_summary(trace))
+    if args.latency:
+        print(format_latency(trace))
+    elif args.tree:
+        print(render_tree(trace))
+    else:
+        print(format_summary(trace))
     return 0
 
 

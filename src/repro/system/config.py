@@ -49,6 +49,14 @@ file the finished trace is written to (``format``: ``chrome`` /
 ``json`` / ``tree``).  Without ``out`` the program still records the
 trace and attaches it to its report.
 
+``runtime.streaming`` switches the pipeline into sustained streaming
+repair (:class:`repro.repair.streaming.StreamingRepairer`): either a
+boolean, or an object ``{"enabled": true, "max_pending": 1024,
+"commit_interval": 256, "backpressure": "block", "shards": 4}``.  Rows
+from the source are streamed through a bounded, coalescing commit queue
+instead of being repaired in one batch; requires the ``update`` repair
+semantics.
+
 The optional ``lint`` block (``{"preflight": true, "fail_on": "error"}``)
 makes the pipeline run the static constraint analyzer
 (:mod:`repro.lint`) before loading any data and abort with a
@@ -113,6 +121,11 @@ class RepairConfig:
     trace_enabled: bool = False
     trace_out: str | None = None
     trace_format: str = "chrome"
+    streaming_enabled: bool = False
+    streaming_max_pending: int | None = 1024
+    streaming_commit_interval: int | None = 256
+    streaming_backpressure: str = "block"
+    streaming_shards: int | None = None
     lint_preflight: bool = False
     lint_fail_on: str = "error"
 
@@ -235,6 +248,12 @@ class RepairConfig:
         trace_enabled, trace_out, trace_format = _parse_trace(
             runtime.get("trace", False)
         )
+        streaming = _parse_streaming(runtime.get("streaming", False))
+        if streaming[0] and semantics != "update":
+            raise ConfigError(
+                "runtime.streaming requires repair_semantics='update' "
+                "(delete/mixed semantics repair whole-instance, not deltas)"
+            )
 
         lint = data.get("lint", {})
         if not isinstance(lint, Mapping):
@@ -280,6 +299,11 @@ class RepairConfig:
             trace_enabled=trace_enabled,
             trace_out=trace_out,
             trace_format=trace_format,
+            streaming_enabled=streaming[0],
+            streaming_max_pending=streaming[1],
+            streaming_commit_interval=streaming[2],
+            streaming_backpressure=streaming[3],
+            streaming_shards=streaming[4],
             lint_preflight=lint_preflight,
             lint_fail_on=lint_fail_on,
         )
@@ -310,6 +334,58 @@ def _parse_trace(data: Any) -> tuple[bool, str | None, str]:
             f"got {format!r}"
         )
     return enabled, out, format
+
+
+def _parse_streaming(
+    data: Any,
+) -> tuple[bool, int | None, int | None, str, int | None]:
+    """Validate the ``runtime.streaming`` block (bool or object form).
+
+    Returns ``(enabled, max_pending, commit_interval, backpressure,
+    shards)``; the object form accepts e.g. ``{"enabled": true,
+    "max_pending": 512, "commit_interval": 64, "backpressure": "error",
+    "shards": 4}``.
+    """
+    from repro.repair.streaming import BACKPRESSURE_POLICIES
+
+    if isinstance(data, bool):
+        return data, 1024, 256, "block", None
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"runtime.streaming must be a boolean or an object, got {data!r}"
+        )
+    known = {"enabled", "max_pending", "commit_interval", "backpressure", "shards"}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown runtime.streaming key(s) {sorted(unknown)}; "
+            f"choose from {sorted(known)}"
+        )
+    enabled = data.get("enabled", True)
+    if not isinstance(enabled, bool):
+        raise ConfigError(
+            f"runtime.streaming.enabled must be a boolean, got {enabled!r}"
+        )
+    def positive_or_none(key: str, default: int | None) -> int | None:
+        value = data.get(key, default)
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int) or value < 1
+        ):
+            raise ConfigError(
+                f"runtime.streaming.{key} must be a positive integer or "
+                f"null, got {value!r}"
+            )
+        return value
+    max_pending = positive_or_none("max_pending", 1024)
+    commit_interval = positive_or_none("commit_interval", 256)
+    shards = positive_or_none("shards", None)
+    backpressure = data.get("backpressure", "block")
+    if backpressure not in BACKPRESSURE_POLICIES:
+        raise ConfigError(
+            f"runtime.streaming.backpressure must be one of "
+            f"{BACKPRESSURE_POLICIES}, got {backpressure!r}"
+        )
+    return enabled, max_pending, commit_interval, backpressure, shards
 
 
 def _parse_schema(data: Any) -> Schema:

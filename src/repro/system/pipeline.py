@@ -46,6 +46,7 @@ class ProgramReport:
     deletion: DeletionRepairResult | None = None
     trace: Any = None
     trace_note: str | None = None
+    streaming_note: str | None = None
 
     def summary(self) -> str:
         """Human-readable run report."""
@@ -53,6 +54,8 @@ class ProgramReport:
         if self.deletion is not None:
             lines.append(f"semantics        : {self.config.repair_semantics}")
             lines.append(f"tuples deleted   : {self.deletion.deletions}")
+        if self.streaming_note is not None:
+            lines.append(f"streaming        : {self.streaming_note}")
         lines.append(f"export           : {self.export_note}")
         if self.trace_note is not None:
             lines.append(f"trace            : {self.trace_note}")
@@ -117,6 +120,8 @@ class RepairProgram:
         instance = self.load()
         if self.config.repair_semantics in ("delete", "mixed"):
             return self._run_deletion(instance, export)
+        if self.config.streaming_enabled:
+            return self._run_streaming(instance, export)
 
         violations = None
         if self.config.violation_detection == "sql":
@@ -148,6 +153,69 @@ class RepairProgram:
             export_note=note,
             trace=trace,
             trace_note=trace_note,
+        )
+
+    def _run_streaming(
+        self, instance: DatabaseInstance, export: bool
+    ) -> ProgramReport:
+        """Streaming semantics: feed the loaded rows through the pipeline.
+
+        Rows stream as inserts into an (initially empty) working instance
+        through :class:`~repro.repair.streaming.StreamingRepairer`'s
+        bounded commit queue; every ``commit_interval`` operations a
+        Δ-anchored repair round runs, so memory and per-round latency
+        stay proportional to the delta rather than the database.  A
+        full queue under the ``"error"`` backpressure policy surfaces as
+        :class:`~repro.exceptions.BackpressureError` (the CLI prints it
+        and exits non-zero); the default ``"block"`` policy drains a
+        round instead.  The aggregate result's ``changes`` are relative
+        to the loaded (source) content, so the normal cell-update export
+        applies.
+        """
+        from repro.repair.streaming import StreamingRepairer
+
+        policy = self.config.execution_policy
+        streamer = StreamingRepairer(
+            DatabaseInstance(self.config.schema),
+            self.config.constraints,
+            max_pending=self.config.streaming_max_pending,
+            commit_interval=self.config.streaming_commit_interval,
+            backpressure=self.config.streaming_backpressure,
+            trace=self.config.trace_enabled,
+            algorithm=self.config.algorithm,
+            metric=self.config.metric,
+            parallel=policy if policy.backend != "serial" else None,
+            engine=self.config.detection_engine,
+            solver_engine=self.config.solver_engine,
+            shards=self.config.streaming_shards,
+        )
+        for relation in self.config.schema:
+            for tup in instance.tuples(relation.name):
+                streamer.insert(relation.name, tup.values)
+        streamer.flush()
+        result = streamer.aggregate_result()
+        if export:
+            note = self.backend.export_repair(
+                result, self.config.export_mode, self.config.export_destination
+            )
+        else:
+            note = "dry run (no export)"
+        trace, trace_note = self._emit_trace(
+            streamer.finish_trace() if self.config.trace_enabled else None
+        )
+        stats = streamer.stats
+        streaming_note = (
+            f"{stats.total_submitted} ops in {stats.rounds} round(s), "
+            f"{stats.coalesced} coalesced, "
+            f"{stats.backpressure_blocks} backpressure block(s)"
+        )
+        return ProgramReport(
+            config=self.config,
+            result=result,
+            export_note=note,
+            trace=trace,
+            trace_note=trace_note,
+            streaming_note=streaming_note,
         )
 
     def _run_deletion(

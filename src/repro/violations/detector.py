@@ -688,7 +688,28 @@ def _violations_involving_constraint(
                 raise
         else:
             return _ordered_violation_sets(used_sets, constraint)
-    used_sets = set()
+    used_sets = anchored_used_sets(instance, constraint, anchors, raw_indexes)
+    return _ordered_violation_sets(used_sets, constraint)
+
+
+def anchored_used_sets(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    anchors: Sequence[Tuple],
+    raw_indexes: Mapping | None = None,
+) -> set[frozenset[Tuple]]:
+    """Raw anchored witness sets of one constraint (pre-minimality).
+
+    The interpreted anchored enumeration *without* the
+    :func:`_ordered_violation_sets` funnel: the anchored atom is rotated
+    to the front, one pass per atom position, and every satisfying
+    assignment's used tuple set is collected.  Exposed so sharded
+    detection can split ``anchors`` across workers and union the per-shard
+    witness sets *before* minimality reduction - the union over any
+    partition of the anchors equals the unsharded witness set, which is
+    what keeps sharded results byte-identical.
+    """
+    used_sets: set[frozenset[Tuple]] = set()
     for atom_index in range(len(constraint.relation_atoms)):
         relevant = [
             t
@@ -706,7 +727,7 @@ def _violations_involving_constraint(
             raw_indexes=raw_indexes,
         ):
             used_sets.add(frozenset(assignment))
-    return _ordered_violation_sets(used_sets, constraint)
+    return used_sets
 
 
 def find_violations_involving(
@@ -716,6 +737,7 @@ def find_violations_involving(
     raw_indexes: Mapping | None = None,
     executor=None,
     engine: str = "auto",
+    shards: int | None = None,
 ) -> tuple[ViolationSet, ...]:
     """Violation sets that involve at least one of the ``anchors``.
 
@@ -741,12 +763,29 @@ def find_violations_involving(
     consistent); with an inconsistent base instance the result still lists
     violating sets but may include sets whose minimal core avoids the
     anchors.
+
+    ``shards`` additionally splits each constraint's *anchors* into that
+    many contiguous chunks, turning the fan-out unit from "one
+    constraint" into "one (constraint, anchor shard)" - the knob that
+    lets a commit round with few constraints but a large Δ keep every
+    worker busy.  The per-shard witness sets are unioned before the
+    minimality/ordering funnel, so the output is byte-identical to the
+    unsharded path (the union over any partition of the anchors is the
+    full witness set).  Sharding applies to the interpreted anchored
+    enumeration; an explicit ``engine="kernel"`` request falls back to
+    the per-constraint fan-out.
     """
     anchor_list = list(anchors)
     constraints = tuple(constraints)
-    per_constraint = _detect_anchored_parallel(
-        instance, constraints, anchor_list, raw_indexes, executor, engine
-    )
+    per_constraint = None
+    if shards is not None and shards > 1 and engine != "kernel":
+        per_constraint = _detect_anchored_sharded(
+            instance, constraints, anchor_list, raw_indexes, executor, shards
+        )
+    if per_constraint is None:
+        per_constraint = _detect_anchored_parallel(
+            instance, constraints, anchor_list, raw_indexes, executor, engine
+        )
     if per_constraint is None:
         per_constraint = [
             violations_involving_constraint(
@@ -803,6 +842,90 @@ def _detect_anchored_parallel(
         for index, violations in zip(chunk, batch):
             results[index] = _reintern_constraint(violations, constraints[index])
     return results  # type: ignore[return-value]
+
+
+def _detect_anchored_sharded(
+    instance: DatabaseInstance,
+    constraints: tuple[DenialConstraint, ...],
+    anchors: list[Tuple],
+    raw_indexes: Mapping | None,
+    executor,
+    shards: int,
+) -> list[tuple[ViolationSet, ...]] | None:
+    """(constraint x anchor-shard) fan-out; ``None`` = stay serial.
+
+    Anchors are split into ``shards`` contiguous chunks; every
+    ``(constraint, chunk)`` pair becomes one work unit, LPT-balanced by
+    estimated join cost.  Workers return *raw* witness sets
+    (:func:`anchored_used_sets`); the union per constraint then runs
+    through :func:`_ordered_violation_sets` here, so minimality and
+    ordering are computed over exactly the same witness population as the
+    serial path.  Thread workers share ``raw_indexes`` and the live
+    instance; process workers receive pickled copies and rebuild
+    throwaway indexes (ship the cache to threads when it is the point).
+    """
+    if executor is None or not anchors:
+        return None
+    from repro.runtime.executor import as_executor, balanced_chunks
+    from repro.runtime.workers import detect_anchored_shard_batch, detection_cost
+
+    ex = as_executor(executor)
+    if not ex.is_parallel:
+        return None
+    n_shards = min(shards, len(anchors))
+    if n_shards <= 1 and len(constraints) <= 1:
+        return None
+    step = -(-len(anchors) // n_shards)  # ceil division, contiguous chunks
+    anchor_chunks = [
+        anchors[start:start + step] for start in range(0, len(anchors), step)
+    ]
+    units = [
+        (c_index, s_index)
+        for c_index in range(len(constraints))
+        for s_index in range(len(anchor_chunks))
+    ]
+    if len(units) <= 1:
+        return None
+    costs = [
+        detection_cost(constraints[c_index]) * len(anchor_chunks[s_index])
+        for c_index, s_index in units
+    ]
+    unit_chunks = balanced_chunks(costs, ex.n_chunks(len(units)))
+    shipped_indexes = raw_indexes if ex.backend == "thread" else None
+    payloads = [
+        (
+            instance,
+            [
+                (constraints[units[u][0]], anchor_chunks[units[u][1]])
+                for u in chunk
+            ],
+            shipped_indexes,
+        )
+        for chunk in unit_chunks
+    ]
+    merged: list[set[frozenset[Tuple]]] = [set() for _ in constraints]
+    for chunk, batch in zip(unit_chunks, ex.map(detect_anchored_shard_batch, payloads)):
+        for u, used_sets in zip(chunk, batch):
+            merged[units[u][0]].update(used_sets)
+    tracer = current_tracer()
+    results: list[tuple[ViolationSet, ...]] = []
+    for constraint, used_sets in zip(constraints, merged):
+        if tracer.enabled:
+            with tracer.span(
+                f"detect:{constraint.label}",
+                category="detect",
+                anchors=len(anchors),
+                shards=len(anchor_chunks),
+            ) as span:
+                violations = _ordered_violation_sets(used_sets, constraint)
+                span.tag(violations=len(violations))
+                tracer.metrics.counter(
+                    "violations_found", constraint=constraint.label
+                ).inc(len(violations))
+        else:
+            violations = _ordered_violation_sets(used_sets, constraint)
+        results.append(violations)
+    return results
 
 
 def is_consistent(

@@ -15,6 +15,7 @@ built-in predicates on the matches).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.model.instance import DatabaseInstance
@@ -22,13 +23,22 @@ from repro.model.tuples import Tuple
 
 
 class JoinIndexCache:
-    """Lazily-built, incrementally-maintained hash indexes per join signature."""
+    """Lazily-built, incrementally-maintained hash indexes per join signature.
+
+    Lazy builds are guarded by a lock so concurrent anchor-shard workers
+    (thread backend) can share one warm cache: the first thread to miss a
+    signature builds it, later threads reuse the finished index, and a
+    half-built index is never observable.  Maintenance (``notify_*``)
+    stays single-threaded by contract - it runs between commit rounds,
+    never concurrently with detection.
+    """
 
     def __init__(self, instance: DatabaseInstance) -> None:
         self._instance = instance
         self._indexes: dict[
             tuple[str, tuple[int, ...]], dict[tuple, list[Tuple]]
         ] = {}
+        self._build_lock = threading.Lock()
 
     # -- mapping interface used by the detector ---------------------------------
 
@@ -38,14 +48,18 @@ class JoinIndexCache:
         """Index for ``(relation name, positions)``; built on first use."""
         index = self._indexes.get(key)
         if index is None:
-            relation_name, positions = key
-            if relation_name not in self._instance.schema:
-                return default
-            index = {}
-            for tup in self._instance.tuples(relation_name):
-                values = tuple(tup.values[p] for p in positions)
-                index.setdefault(values, []).append(tup)
-            self._indexes[key] = index
+            with self._build_lock:
+                index = self._indexes.get(key)
+                if index is not None:
+                    return index
+                relation_name, positions = key
+                if relation_name not in self._instance.schema:
+                    return default
+                index = {}
+                for tup in self._instance.tuples(relation_name):
+                    values = tuple(tup.values[p] for p in positions)
+                    index.setdefault(values, []).append(tup)
+                self._indexes[key] = index
         return index
 
     def __getitem__(self, key: tuple[str, tuple[int, ...]]):

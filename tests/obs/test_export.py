@@ -9,12 +9,16 @@ import pytest
 
 from repro.exceptions import ReproError
 from repro.obs import (
+    LATENCY_SPANS,
     Span,
     Trace,
     Tracer,
     chrome_trace,
+    format_latency,
     format_summary,
+    latency_summary,
     load_trace,
+    percentile,
     render_tree,
     summarize_trace,
     trace_from_chrome,
@@ -135,6 +139,103 @@ class TestSummaryAndTree:
         text = render_tree(Trace(roots=[root]), max_children=5)
         assert "c4" in text and "c5" not in text
         assert "15 more span(s)" in text
+
+
+def _span(name: str, start: float, duration: float) -> Span:
+    return Span.from_dict({"name": name, "start": start, "duration": duration})
+
+
+@pytest.fixture
+def commit_trace():
+    """Ten commit rounds with known durations 1..10 ms, plus one detect."""
+    roots = []
+    for i in range(1, 11):
+        root = _span("stream-round", float(i), 0.02)
+        root.children = [_span("commit", float(i), i / 1000.0)]
+        roots.append(root)
+    roots[0].children[0].children = [_span("detect", 1.0, 0.0004)]
+    return Trace(roots=roots)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_endpoints(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_p99_near_max(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+    @pytest.mark.parametrize("q", [-1, 101])
+    def test_out_of_range_rejected(self, q):
+        with pytest.raises(ReproError):
+            percentile([1.0], q)
+
+
+class TestLatencySummary:
+    def test_rows_follow_names_order(self, commit_trace):
+        rows = latency_summary(commit_trace)
+        assert [row["name"] for row in rows] == [
+            "stream-round", "commit", "detect",
+        ]
+        assert [row["name"] for row in rows] == [
+            n for n in LATENCY_SPANS
+            if n in {"stream-round", "commit", "detect"}
+        ]
+
+    def test_commit_percentiles(self, commit_trace):
+        commit = next(
+            row for row in latency_summary(commit_trace) if row["name"] == "commit"
+        )
+        assert commit["count"] == 10
+        assert commit["total_seconds"] == pytest.approx(0.055)
+        assert commit["mean_seconds"] == pytest.approx(0.0055)
+        assert commit["p50_seconds"] == pytest.approx(0.0055)
+        assert commit["p99_seconds"] == pytest.approx(0.00991)
+        assert commit["max_seconds"] == pytest.approx(0.010)
+
+    def test_absent_names_skipped(self, sample_trace):
+        rows = latency_summary(sample_trace, names=("commit", "nope"))
+        assert rows == []
+
+    def test_custom_names(self, sample_trace):
+        rows = latency_summary(sample_trace, names=("solve", "detect"))
+        assert [row["name"] for row in rows] == ["solve", "detect"]
+
+    def test_format_latency_table(self, commit_trace):
+        text = format_latency(commit_trace)
+        assert "p50" in text and "p99" in text
+        assert "commit" in text and "stream-round" in text
+
+    def test_format_latency_empty(self, sample_trace):
+        text = format_latency(sample_trace, names=("commit",))
+        assert text == "(no commit-pipeline spans in trace)"
+
+
+class TestSummaryPercentiles:
+    def test_summarize_trace_has_p50_p99(self, commit_trace):
+        by_name = {row["name"]: row for row in summarize_trace(commit_trace)}
+        assert by_name["commit"]["p50_seconds"] == pytest.approx(0.0055)
+        assert by_name["commit"]["p99_seconds"] == pytest.approx(0.00991)
+
+    def test_format_summary_shows_percentile_columns(self, commit_trace):
+        text = format_summary(commit_trace)
+        assert "p50" in text and "p99" in text
 
 
 class TestTraceFiles:

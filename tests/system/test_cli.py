@@ -142,6 +142,51 @@ class TestCli:
         assert "verified D'|=IC  : True" in capsys.readouterr().out
 
 
+class TestStreamingCli:
+    def test_stream_flag_runs_pipeline(self, config_path, capsys):
+        assert main([config_path, "--stream", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert "round(s)" in out
+
+    def test_max_pending_implies_stream(self, config_path, capsys):
+        assert main([config_path, "--max-pending", "8", "--dry-run"]) == 0
+        assert "streaming" in capsys.readouterr().out
+
+    def test_commit_interval_implies_stream(self, config_path, capsys):
+        assert main([config_path, "--commit-interval", "2", "--dry-run"]) == 0
+        assert "streaming" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("flag", ["--max-pending", "--commit-interval"])
+    def test_nonpositive_values_fail(self, config_path, flag, capsys):
+        assert main([config_path, flag, "0", "--dry-run"]) == 1
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_streamed_run_matches_batch_run(self, config_path, capsys):
+        assert main([config_path, "--dry-run", "--changes"]) == 0
+        batch = capsys.readouterr().out
+        assert main([config_path, "--stream", "--dry-run", "--changes"]) == 0
+        streamed = capsys.readouterr().out
+        # same repaired cells, streaming just adds its pipeline note.
+        batch_changes = [line for line in batch.splitlines() if "->" in line]
+        stream_changes = [line for line in streamed.splitlines() if "->" in line]
+        assert stream_changes == batch_changes
+
+    def test_trace_latency_flag(self, config_path, tmp_path, capsys):
+        from repro.system.cli import trace_main
+
+        out = str(tmp_path / "stream.trace.json")
+        assert main(
+            [config_path, "--stream", "--dry-run", "--trace-out", out,
+             "--trace-format", "json"]
+        ) == 0
+        capsys.readouterr()
+        assert trace_main([out, "--latency"]) == 0
+        text = capsys.readouterr().out
+        assert "p50" in text and "p99" in text
+        assert "commit" in text
+
+
 @pytest.fixture
 def nonlocal_config_path(tmp_path, config_path):
     data = json.loads((tmp_path / "config.json").read_text())

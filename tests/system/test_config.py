@@ -182,6 +182,65 @@ class TestRuntimeBlock:
         assert "runtime.engine" in str(exc.value)
 
 
+class TestStreamingBlock:
+    def test_default_is_off(self):
+        config = RepairConfig.from_dict(minimal_config())
+        assert config.streaming_enabled is False
+        assert config.streaming_max_pending == 1024
+        assert config.streaming_commit_interval == 256
+        assert config.streaming_backpressure == "block"
+        assert config.streaming_shards is None
+
+    def test_boolean_form(self):
+        data = minimal_config()
+        data["runtime"] = {"streaming": True}
+        config = RepairConfig.from_dict(data)
+        assert config.streaming_enabled is True
+        assert config.streaming_backpressure == "block"
+
+    def test_object_form(self):
+        data = minimal_config()
+        data["runtime"] = {
+            "streaming": {
+                "enabled": True,
+                "max_pending": 64,
+                "commit_interval": None,
+                "backpressure": "error",
+                "shards": 4,
+            }
+        }
+        config = RepairConfig.from_dict(data)
+        assert config.streaming_enabled is True
+        assert config.streaming_max_pending == 64
+        assert config.streaming_commit_interval is None
+        assert config.streaming_backpressure == "error"
+        assert config.streaming_shards == 4
+
+    @pytest.mark.parametrize(
+        "streaming, message",
+        [
+            ("yes", "boolean or an object"),
+            ({"enabled": True, "backpressure": "drop"}, "backpressure"),
+            ({"enabled": True, "max_pending": 0}, "max_pending"),
+            ({"enabled": True, "commit_interval": -5}, "commit_interval"),
+            ({"enabled": True, "shards": 0}, "shards"),
+            ({"enabled": True, "nope": 1}, "unknown"),
+        ],
+    )
+    def test_bad_streaming_rejected(self, streaming, message):
+        data = minimal_config()
+        data["runtime"] = {"streaming": streaming}
+        with pytest.raises(ConfigError, match=message):
+            RepairConfig.from_dict(data)
+
+    def test_streaming_requires_update_semantics(self):
+        data = minimal_config()
+        data["repair_semantics"] = "delete"
+        data["runtime"] = {"streaming": True}
+        with pytest.raises(ConfigError, match="repair_semantics"):
+            RepairConfig.from_dict(data)
+
+
 class TestDuckdbSource:
     def test_duckdb_source_parsed(self):
         data = minimal_config()

@@ -121,6 +121,64 @@ class TestMaintenance:
         assert cache.get(("Client", (0,)))[(0,)]
 
 
+class TestInterleavedCommitRounds:
+    """The cache survives interleaved streaming commit rounds warm.
+
+    Each round mutates different relations through different operation
+    kinds (snapshotting and snapshot-free applies take different index
+    maintenance paths); after every round the built indexes must still
+    match the live instance exactly.
+    """
+
+    def _rounds(self, **kwargs):
+        from repro import StreamingRepairer
+
+        workload = client_buy_workload(30, inconsistency_ratio=0.0, seed=5)
+        streamer = StreamingRepairer(
+            workload.instance, workload.constraints, commit_interval=None, **kwargs
+        )
+        cache = streamer._repairer._join_indexes
+        # round 1: joins force index builds (minor client + expensive buy).
+        streamer.update("Client", (0,), a=15, c=60)
+        streamer.insert("Buy", (0, 90, 99))
+        streamer.flush()
+        assert cache.built_signatures
+        cache.check_consistent()
+        # round 2: clean traffic on the *other* relation, no repair.
+        streamer.update("Client", (1,), c=12)
+        streamer.flush()
+        cache.check_consistent()
+        # round 3: delete + reinsert (replace path) and a fresh violation.
+        victim = next(iter(workload.instance.tuples("Buy")))
+        streamer.delete("Buy", victim.key)
+        streamer.insert("Buy", victim.key + (99,))
+        streamer.update("Client", (victim.key[0],), a=16, c=55)
+        streamer.flush()
+        cache.check_consistent()
+        return streamer, cache, workload
+
+    def test_serial_snapshot_free_rounds_keep_indexes_consistent(self):
+        streamer, cache, workload = self._rounds()
+        from repro import is_consistent
+
+        assert is_consistent(streamer.instance, workload.constraints)
+
+    def test_snapshotting_rounds_keep_indexes_consistent(self):
+        # the apply-swap path: instance objects are replaced per round,
+        # so the cache must have been rebound, not rebuilt.
+        streamer, cache, _workload = self._rounds(snapshot_results=True)
+        before = cache.built_signatures
+        streamer.update("Client", (3,), a=15)
+        streamer.insert("Buy", (3, 90, 99))
+        streamer.flush()
+        cache.check_consistent()
+        assert set(before) <= set(cache.built_signatures)
+
+    def test_sharded_rounds_share_one_consistent_cache(self):
+        streamer, cache, _workload = self._rounds(shards=4)
+        cache.check_consistent()
+
+
 class TestDetectorIntegration:
     def test_anchored_detection_with_cache_matches_full(self):
         workload = client_buy_workload(40, inconsistency_ratio=0.0, seed=6)
