@@ -49,10 +49,12 @@ from repro.exceptions import (
     KeyViolationError,
     LintError,
     LocalityError,
+    PlanError,
     RepairError,
     ReproError,
     SchemaError,
     SetCoverError,
+    StalePlanError,
     UncoverableError,
     UnrepairableError,
 )
@@ -125,10 +127,12 @@ __all__ = [
     "KeyViolationError",
     "LintError",
     "LocalityError",
+    "PlanError",
     "RepairError",
     "ReproError",
     "SchemaError",
     "SetCoverError",
+    "StalePlanError",
     "UncoverableError",
     "UnrepairableError",
     # model

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.constraints.atoms import BuiltinAtom, Comparator, VariableComparison
 from repro.constraints.denial import DenialConstraint
@@ -110,7 +110,9 @@ class ConstraintPlan:
     def n_atoms(self) -> int:
         return len(self.atoms)
 
-    def join_variables_with(self, bound_atoms: set[int], atom_index: int):
+    def join_variables_with(
+        self, bound_atoms: set[int], atom_index: int
+    ) -> Iterator[tuple[str, tuple[int, int], int]]:
         """Variables linking ``atom_index`` to the already-bound atoms.
 
         Yields ``(variable, bound_slot, new_position)`` triples - the

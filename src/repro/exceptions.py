@@ -112,6 +112,46 @@ class PushdownError(ReproError):
     """
 
 
+class PlanError(ReproError):
+    """Static plan compilation or execution failed.
+
+    Raised by :mod:`repro.plan` when a :class:`~repro.plan.CompiledProgram`
+    cannot be built (strict compilation over statically non-compilable
+    constraints), deserialized, or applied.  ``diagnostics`` carries the
+    structured :class:`~repro.lint.diagnostics.Diagnostic` records that
+    explain the failure (codes ``LINT060``-``LINT062``).
+    """
+
+    def __init__(self, message: str, diagnostics: "Sequence[Any]" = ()) -> None:
+        super().__init__(message)
+        self.diagnostics: tuple[Any, ...] = tuple(diagnostics)
+
+
+class StalePlanError(PlanError):
+    """A compiled plan no longer matches the live (schema, constraints).
+
+    Raised - never silently ignored - when a
+    :class:`~repro.plan.CompiledProgram` is handed to the runtime
+    (``repair_database(plan=...)``, :class:`IncrementalRepairer`,
+    :class:`StreamingRepairer`) whose content fingerprint disagrees with
+    the fingerprint of the live schema and constraint set.  ``expected``
+    and ``actual`` carry the two SHA-256 hex digests; the attached
+    diagnostic uses code ``LINT062``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        expected: str = "",
+        actual: str = "",
+        diagnostics: "Sequence[Any]" = (),
+    ) -> None:
+        super().__init__(message, diagnostics=diagnostics)
+        self.expected = expected
+        self.actual = actual
+
+
 class LintError(ReproError):
     """The static constraint analyzer found gating diagnostics.
 

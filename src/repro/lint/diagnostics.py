@@ -22,7 +22,21 @@ LINT040   info      predicted layer-algorithm approximation factor
 LINT041   warning   approximation factor unbounded (no candidate fixes)
 LINT050   warning   kernel compilability is data-dependent (may fall
                     back to the interpreted engine)
+LINT051   warning   SQL pushdown compilability is data-dependent (may
+                    fall back to the kernel/interpreted engines)
+LINT060   info      constraint eliminated by the plan compiler (dead
+                    body: its violation set is empty on every instance)
+LINT061   info/     plan compiler downgraded an engine for a constraint
+          warning   (info: engine unavailable in this environment;
+                    warning: execution is data-dependent, which
+                    ``repro compile --strict`` refuses)
+LINT062   warning   plan cache entry is stale (fingerprint mismatch);
+                    the plan was recompiled instead of reused
 ========  ========  =====================================================
+
+The ``LINT06x`` range is emitted by the static plan compiler
+(:mod:`repro.plan`), not the linter, but shares this namespace so a
+single table documents every code a report can carry.
 """
 
 from __future__ import annotations

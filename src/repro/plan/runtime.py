@@ -1,0 +1,151 @@
+"""Executing detection *from* a compiled plan.
+
+The unplanned ``auto`` engine re-derives, per call and per constraint,
+which engine to try first; the planned path reads the per-constraint
+chain straight out of the :class:`~repro.plan.program.CompiledProgram`
+and only keeps the *runtime* decisions: a chain's pushdown step is
+skipped for non-backend-resident instances (the same gate
+``resolve_engine("auto")`` applies), and an engine that refuses at
+execution time (:class:`~repro.exceptions.KernelError` /
+:class:`~repro.exceptions.PushdownError`) falls through to the next
+chain entry with the downgrade recorded on the
+``plan_engine_downgrades`` counter.  Every chain ends in
+``"interpreted"``, which cannot refuse.
+
+Byte parity with the unplanned path holds by construction: all engines
+feed the same minimality + ordering funnel
+(:func:`repro.violations.detector._ordered_violation_sets`), dead
+entries have provably empty violation sets, and results concatenate in
+original constraint order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.constraints.denial import DenialConstraint
+from repro.exceptions import KernelError, PlanError, PushdownError
+from repro.model.instance import DatabaseInstance
+from repro.obs import current_tracer
+from repro.plan.program import CompiledProgram
+from repro.violations.detector import ViolationSet, find_violations
+from repro.violations.pushdown import pushdown_ready
+
+
+def effective_chain(
+    chain: Sequence[str], instance: DatabaseInstance
+) -> tuple[str, ...]:
+    """The plan chain minus steps this instance can never run.
+
+    Pushdown needs a backend-resident instance; dropping it here (the
+    static analogue of ``resolve_engine("auto")``'s residency gate)
+    avoids a guaranteed refusal per constraint per round.
+    """
+    if "pushdown" in chain and not pushdown_ready(instance):
+        return tuple(e for e in chain if e != "pushdown")
+    return tuple(chain)
+
+
+def planned_find_violations(
+    instance: DatabaseInstance,
+    constraint: DenialConstraint,
+    chain: Sequence[str],
+    max_violations: int | None = None,
+) -> tuple[ViolationSet, ...]:
+    """Run one constraint's detection down its planned engine chain."""
+    engines = effective_chain(chain, instance)
+    if not engines:
+        raise PlanError(
+            f"{constraint.label}: planned engine chain is empty - "
+            "corrupt or hand-edited plan artifact"
+        )
+    last = len(engines) - 1
+    for position, engine in enumerate(engines):
+        if position == last:
+            return find_violations(instance, constraint, max_violations, engine)
+        try:
+            return find_violations(instance, constraint, max_violations, engine)
+        except (KernelError, PushdownError):
+            current_tracer().metrics.counter(
+                "plan_engine_downgrades",
+                constraint=constraint.label,
+                engine=engine,
+            ).inc()
+    raise PlanError(f"{constraint.label}: exhausted planned engine chain")
+
+
+def planned_find_all_violations(
+    instance: DatabaseInstance,
+    constraints: Sequence[DenialConstraint],
+    plan: CompiledProgram,
+    max_violations: int | None = None,
+    executor: Any = None,
+) -> tuple[ViolationSet, ...]:
+    """``I(D, IC)`` driven by a compiled plan, in constraint order.
+
+    The caller has already validated the plan against
+    ``(instance.schema, constraints)`` (:meth:`CompiledProgram.
+    require_match`), so entries index the constraint list directly.
+    Dead entries are skipped - their violation sets are provably empty.
+    The executor fan-out mirrors :func:`~repro.violations.detector.
+    find_all_violations`: one work item per executed constraint, serial
+    whenever any effective chain still leads with pushdown (the backend
+    connection is not shareable across workers).
+    """
+    work = [
+        (constraints[entry.index], effective_chain(entry.engines, instance))
+        for entry in plan.executed_entries
+    ]
+    per_constraint = _planned_parallel(instance, work, max_violations, executor)
+    if per_constraint is None:
+        per_constraint = [
+            planned_find_violations(instance, constraint, chain, max_violations)
+            for constraint, chain in work
+        ]
+    result: list[ViolationSet] = []
+    for violations in per_constraint:
+        result.extend(violations)
+    return tuple(result)
+
+
+def _planned_parallel(
+    instance: DatabaseInstance,
+    work: "list[tuple[DenialConstraint, tuple[str, ...]]]",
+    max_violations: int | None,
+    executor: Any,
+) -> "list[tuple[ViolationSet, ...]] | None":
+    """Fan planned detection out per constraint; ``None`` = stay serial."""
+    if executor is None:
+        return None
+    if any(chain and chain[0] == "pushdown" for _, chain in work):
+        return None
+    from repro.runtime.executor import as_executor, balanced_chunks
+    from repro.runtime.workers import detect_planned_batch, detection_cost
+    from repro.violations.detector import _reintern_constraint
+
+    ex = as_executor(executor)
+    if not ex.is_parallel or len(work) <= 1:
+        return None
+    tracer = current_tracer()
+    trace_remote = tracer.enabled and ex.backend == "process"
+    costs = [detection_cost(constraint) for constraint, _ in work]
+    chunks = balanced_chunks(costs, ex.n_chunks(len(work)))
+    payloads = [
+        (
+            instance,
+            [work[i] for i in chunk],
+            max_violations,
+            trace_remote,
+        )
+        for chunk in chunks
+    ]
+    results: "list[tuple[ViolationSet, ...] | None]" = [None] * len(work)
+    for chunk, outcome in zip(chunks, ex.map(detect_planned_batch, payloads)):
+        if trace_remote:
+            batch, remote = outcome
+            tracer.attach_remote(remote)
+        else:
+            batch = outcome
+        for index, violations in zip(chunk, batch):
+            results[index] = _reintern_constraint(violations, work[index][0])
+    return results  # type: ignore[return-value]

@@ -27,7 +27,10 @@ from __future__ import annotations
 import logging
 import time
 from contextlib import ExitStack
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.plan.program import CompiledProgram
 
 from repro.constraints.denial import DenialConstraint
 from repro.exceptions import RepairError
@@ -85,6 +88,7 @@ def repair_database(
     solver_engine: str = "auto",
     preflight: bool = False,
     trace: "bool | Tracer" = False,
+    plan: "CompiledProgram | None" = None,
 ) -> RepairResult:
     """Compute an (approximate) attribute-update repair of ``instance``.
 
@@ -147,6 +151,24 @@ def repair_database(
         an existing tracer nests this run into a larger trace (the
         cardinality engine and the incremental repairer do this).
         Tracing observes only - the repair is byte-identical either way.
+    plan:
+        A precompiled :class:`~repro.plan.program.CompiledProgram` for
+        exactly this ``(schema, constraints)`` pair.  The static
+        analysis the plan already holds is skipped per call: preflight
+        reads the stored lint report, locality re-checking is skipped
+        when the plan proved it, statically dead constraints are
+        eliminated from detection and verification (provably
+        byte-identical - their violation sets are empty on every
+        instance), the solver engine resolves from the plan when the
+        caller leaves ``solver_engine="auto"``, and - with
+        ``engine="auto"`` - each constraint runs its planned engine
+        chain with the runtime-refusal fallback preserved and recorded
+        (``plan_engine_downgrades`` counter).  An explicit ``engine``
+        overrides the planned chains.  A plan whose fingerprint does
+        not match raises :class:`~repro.exceptions.StalePlanError`;
+        ``simplify=True`` is incompatible (it would change the
+        constraint set out from under the fingerprint).  Planned and
+        unplanned runs produce byte-identical repairs.
 
     Returns
     -------
@@ -158,17 +180,36 @@ def repair_database(
         the span tree of a traced run.
     """
     constraints = tuple(constraints)
+    if plan is not None:
+        if simplify:
+            raise RepairError(
+                "simplify=True cannot be combined with a compiled plan - "
+                "the plan's fingerprint covers the unsimplified constraint "
+                "set; compile the simplified set instead"
+            )
+        plan.require_match(instance.schema, constraints)
+        if solver_engine == "auto":
+            solver_engine = plan.solver.engine
     if preflight:
         from repro.exceptions import LintError
         from repro.lint.analyzer import lint_constraints
 
-        report = lint_constraints(instance.schema, constraints)
+        # The plan already ran the analyzer at compile time over the
+        # fingerprint-matched constraint set; reuse its report.
+        report = (
+            plan.lint
+            if plan is not None
+            else lint_constraints(instance.schema, constraints)
+        )
         if report.gated("error"):
             raise LintError(
                 f"constraint lint preflight failed: "
                 f"{len(report.errors)} error(s)",
                 report=report,
             )
+    if plan is not None and check_locality and plan.solver.locality_ok:
+        # Locality was proven statically at compile time.
+        check_locality = False
     if simplify:
         if violations is not None:
             raise RepairError(
@@ -211,12 +252,32 @@ def repair_database(
             if violations is None:
                 if executor.is_parallel and len(constraints) > 1:
                     detect_workers = min(executor.workers, len(constraints))
-                violations = find_all_violations(
-                    instance,
-                    constraints,
-                    executor=executor if detect_workers > 1 else None,
-                    engine=engine,
-                )
+                detect_executor = executor if detect_workers > 1 else None
+                if plan is not None and engine == "auto":
+                    from repro.plan.runtime import planned_find_all_violations
+
+                    violations = planned_find_all_violations(
+                        instance,
+                        constraints,
+                        plan,
+                        executor=detect_executor,
+                    )
+                elif plan is not None:
+                    # Explicit engine request wins over the planned
+                    # chains; dead constraints stay eliminated.
+                    violations = find_all_violations(
+                        instance,
+                        plan.executed_constraints(constraints),
+                        executor=detect_executor,
+                        engine=engine,
+                    )
+                else:
+                    violations = find_all_violations(
+                        instance,
+                        constraints,
+                        executor=detect_executor,
+                        engine=engine,
+                    )
             detect_span.tag(violations=len(violations), workers=detect_workers)
         if tracer.enabled:
             from repro.violations.degree import degree_of_database
@@ -317,10 +378,20 @@ def repair_database(
             # backend-resident, so a strict pushdown request downgrades to
             # auto here instead of failing its own verification.
             verify_engine = "auto" if engine == "pushdown" else engine
+            # Statically dead constraints can never be violated, so the
+            # planned path verifies only the executed subset (identical
+            # verdict, less work).
+            verify_constraints = (
+                plan.executed_constraints(constraints)
+                if plan is not None
+                else constraints
+            )
             with tracer.span("verify", category="stage") as verify_span:
-                if not is_consistent(repaired, constraints, engine=verify_engine):
+                if not is_consistent(
+                    repaired, verify_constraints, engine=verify_engine
+                ):
                     remaining = find_all_violations(
-                        repaired, constraints, engine=verify_engine
+                        repaired, verify_constraints, engine=verify_engine
                     )
                     raise RepairError(
                         f"repair left {len(remaining)} violations - the constraint "

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 from contextlib import ExitStack
 from dataclasses import replace
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.plan.program import CompiledProgram
 
 from repro.constraints.denial import DenialConstraint
 from repro.constraints.locality import check_local_set
@@ -76,6 +79,7 @@ class IncrementalRepairer:
         solver_engine: str = "auto",
         trace: "bool | Tracer" = False,
         shards: int | None = None,
+        plan: "CompiledProgram | None" = None,
     ) -> None:
         # One tracer observes the repairer's whole lifetime: every commit
         # adds a ``commit`` span (tagged with its delta-round number), so
@@ -84,6 +88,24 @@ class IncrementalRepairer:
         self._tracer = as_tracer(trace)
         self._rounds = 0
         self._constraints = tuple(constraints)
+        # A precompiled plan is validated once for the repairer's whole
+        # lifetime: every commit round then reuses its static analysis
+        # (locality proof, solver pre-selection, dead-constraint
+        # elimination) instead of re-deriving it.  A stale plan raises
+        # StalePlanError here, before any state is built.
+        self._plan = plan
+        if plan is not None:
+            plan.require_match(instance.schema, self._constraints)
+            if solver_engine == "auto":
+                solver_engine = plan.solver.engine
+        # Statically dead constraints have empty violation sets on every
+        # instance, so all detection (initial, anchored, verify) runs on
+        # the executed subset - byte-identical, less work per round.
+        self._active_constraints = (
+            plan.executed_constraints(self._constraints)
+            if plan is not None
+            else self._constraints
+        )
         self._algorithm = algorithm
         self._metric = get_metric(metric)
         # Whole-instance passes (initial repair, verify) honour ``engine``
@@ -119,10 +141,16 @@ class IncrementalRepairer:
             policy = replace(policy, backend="thread", max_workers=max_workers or shards)
         self._policy = policy
         self._executor = Executor(policy)
-        check_local_set(self._constraints, instance.schema)
+        if self._plan is None or not self._plan.solver.locality_ok:
+            # With a plan, locality was proven at compile time; without
+            # one (or when the plan could not prove it) the raising
+            # check runs so the error is identical to the unplanned path.
+            check_local_set(self._constraints, instance.schema)
 
         self._instance = instance.copy()
-        if not is_consistent(self._instance, self._constraints, engine=self._engine):
+        if not is_consistent(
+            self._instance, self._active_constraints, engine=self._engine
+        ):
             if not repair_initial:
                 raise RepairError(
                     "initial instance is inconsistent; pass "
@@ -136,7 +164,7 @@ class IncrementalRepairer:
                     )
                 )
                 problem = build_repair_problem(
-                    self._instance, self._constraints, metric=self._metric,
+                    self._instance, self._active_constraints, metric=self._metric,
                     check_locality=False,
                 )
                 cover = self._solve(problem.setcover)
@@ -228,7 +256,7 @@ class IncrementalRepairer:
             ) as detect_span:
                 violations = find_violations_involving(
                     self._instance,
-                    self._constraints,
+                    self._active_constraints,
                     self._staged,
                     raw_indexes=self._join_indexes,
                     executor=self._executor if self._policy.is_parallel else None,
@@ -257,7 +285,7 @@ class IncrementalRepairer:
             with self._tracer.span("reduce", category="stage") as reduce_span:
                 problem = build_repair_problem(
                     self._instance,
-                    self._constraints,
+                    self._active_constraints,
                     metric=self._metric,
                     check_locality=False,          # checked once in __init__
                     violations=violations,
@@ -358,7 +386,7 @@ class IncrementalRepairer:
 
     def _verify(self) -> None:
         remaining = find_all_violations(
-            self._instance, self._constraints, engine=self._engine
+            self._instance, self._active_constraints, engine=self._engine
         )
         if remaining:
             raise RepairError(

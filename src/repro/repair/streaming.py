@@ -114,8 +114,13 @@ class StreamingRepairer:
     operations (``None`` = only explicit :meth:`flush` / backpressure
     commits), ``backpressure`` picks the full-queue policy.  Remaining
     keyword arguments (``algorithm``, ``metric``, ``parallel``,
-    ``engine``, ``solver_engine``, ``shards``, ...) pass through to the
-    inner :class:`IncrementalRepairer`.
+    ``engine``, ``solver_engine``, ``shards``, ``plan``, ...) pass
+    through to the inner :class:`IncrementalRepairer` - in particular a
+    precompiled :class:`~repro.plan.program.CompiledProgram` is
+    validated once and its static analysis reused by *every* commit
+    round of the stream (a stale plan raises
+    :class:`~repro.exceptions.StalePlanError` at construction, before
+    any operation is accepted).
 
     ``snapshot_results=False`` (the default) makes per-round
     :class:`RepairResult`\\ s snapshot-free (``repaired is None``); read

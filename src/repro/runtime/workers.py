@@ -173,6 +173,31 @@ def detect_constraint_batch(payload: tuple) -> "list[tuple] | tuple[list[tuple],
     return results
 
 
+def detect_planned_batch(payload: tuple) -> "list[tuple] | tuple[list[tuple], dict]":
+    """Plan-driven detection for one batch of ``(constraint, chain)`` pairs.
+
+    ``payload`` is ``(instance, work, max_violations)`` plus an optional
+    trailing ``trace`` flag, where ``work`` is a list of
+    ``(constraint, engine_chain)`` pairs from a
+    :class:`~repro.plan.program.CompiledProgram`; the result is one tuple
+    of ``ViolationSet`` per pair, in batch order - wrapped as
+    ``(results, remote_trace)`` when tracing.  Chain fallback (and its
+    ``plan_engine_downgrades`` counter) runs inside the worker, so the
+    parallel path records the same downgrades the serial one would.
+    """
+    instance, work, max_violations, trace = (*payload, False)[:4]
+    from repro.plan.runtime import planned_find_violations
+
+    with _WorkerTrace(trace) as wt:
+        results = [
+            planned_find_violations(instance, constraint, chain, max_violations)
+            for constraint, chain in work
+        ]
+    if trace:
+        return results, wt.remote()
+    return results
+
+
 def detect_anchored_batch(payload: tuple) -> "list[tuple] | tuple[list[tuple], dict]":
     """Anchored (incremental) detection for one batch of constraints.
 

@@ -17,6 +17,17 @@ and/or bundled workloads - no database instance is loaded.  Exit code 0
 means no diagnostics at or above ``--fail-on``; 1 means the gate fired;
 2 means a usage or configuration error.
 
+``repro compile`` runs the static constraint-program compiler
+(:mod:`repro.plan`) over the same sources: canonicalization, per-
+constraint engine classification and cost ranking, and solver
+pre-selection - all before any data loads.  ``--out FILE`` saves the
+fingerprinted artifact, ``--strict`` exits 1 when any constraint's
+kernel/pushdown execution is data-dependent (LINT050/051), and
+``--cache`` routes through the on-disk plan cache.  ``repro
+explain-plan`` renders a plan (from a config, workload, or saved
+artifact) as a ``constraint -> engine chain -> cost -> diagnostics``
+table.
+
 ``repro trace <file>`` replays a saved trace (native or Chrome format)
 as an aggregated summary table - count, wall, CPU, p50/p99 and share
 per span name; ``--tree`` prints the full span tree instead, and
@@ -112,6 +123,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --stream; default 256)",
     )
     parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="enable static plan compilation for this run (equivalent to "
+        "\"plan\": true in the configuration): the constraint program is "
+        "compiled (or loaded from the plan cache) before any data loads "
+        "and the repair executes from the plan",
+    )
+    parser.add_argument(
+        "--plan-cache-dir",
+        metavar="DIR",
+        help="plan cache directory (implies --plan; default: "
+        "$REPRO_PLAN_CACHE or ~/.cache/repro/plans)",
+    )
+    parser.add_argument(
         "--profile-only",
         action="store_true",
         help="print the inconsistency profile and exit without repairing",
@@ -181,6 +206,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print("error: --commit-interval must be >= 1", file=sys.stderr)
                 return 1
             overrides["streaming_commit_interval"] = args.commit_interval
+        if args.plan or args.plan_cache_dir:
+            overrides["plan_enabled"] = True
+        if args.plan_cache_dir:
+            overrides["plan_cache_dir"] = args.plan_cache_dir
         if args.trace or args.trace_out or args.trace_format:
             overrides["trace_enabled"] = True
         if args.trace_out:
@@ -234,6 +263,8 @@ def _lint_workload_sources() -> dict[str, Callable[[], tuple]]:
         paper_pub_schema,
     )
 
+    from repro.workloads.tpch_like import TPCH_CONSTRAINTS, tpch_like_schema
+
     return {
         "clientbuy": lambda: (
             client_buy_schema(),
@@ -251,10 +282,14 @@ def _lint_workload_sources() -> dict[str, Callable[[], tuple]]:
             paper_pub_schema(),
             parse_denials(PAPER_CONSTRAINTS + PUB_CONSTRAINT),
         ),
+        "tpch": lambda: (
+            tpch_like_schema(),
+            parse_denials(TPCH_CONSTRAINTS),
+        ),
     }
 
 
-LINT_WORKLOADS = ("clientbuy", "finance", "census", "paperdemo")
+LINT_WORKLOADS = ("clientbuy", "finance", "census", "paperdemo", "tpch")
 
 
 def build_lint_parser() -> argparse.ArgumentParser:
@@ -355,6 +390,214 @@ def lint_main(argv: Sequence[str] | None = None) -> int:
     return 1 if gate_fired else 0
 
 
+def _plan_sources(
+    configs: Sequence[str], workloads: Sequence[str]
+) -> "list[tuple[str, Callable[[], tuple]]]":
+    """``(name, factory)`` pairs for compile/explain-plan inputs."""
+    sources: list[tuple[str, Callable[[], tuple]]] = []
+    factories = _lint_workload_sources()
+    for name in workloads:
+        sources.append((f"workload:{name}", factories[name]))
+    for path in configs:
+        def _from_config(path: str = path) -> tuple:
+            config = RepairConfig.from_file(path)
+            return config.schema, config.constraints
+        sources.append((path, _from_config))
+    return sources
+
+
+def build_compile_parser() -> argparse.ArgumentParser:
+    """The ``repro compile`` argparse parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro compile",
+        description=(
+            "Compile (schema, constraints) into a fingerprinted "
+            "CompiledProgram plan artifact: canonicalization, static "
+            "engine classification and cost ranking, solver "
+            "pre-selection - without loading any data."
+        ),
+    )
+    parser.add_argument(
+        "configs",
+        nargs="*",
+        metavar="CONFIG",
+        help="JSON configuration files whose (schema, constraints) to compile",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=LINT_WORKLOADS,
+        default=None,
+        help="also compile a bundled workload's constraint set (repeatable)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any constraint is not statically compilable "
+        "(its kernel/pushdown execution is data-dependent, LINT050/051)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the compiled artifact to FILE (single source only)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="store/reuse the artifact through the on-disk plan cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="plan cache directory (implies --cache; default: "
+        "$REPRO_PLAN_CACHE or ~/.cache/repro/plans)",
+    )
+    return parser
+
+
+def compile_main(argv: Sequence[str] | None = None) -> int:
+    """``repro compile`` entry point; returns the process exit code.
+
+    0 = every source compiled, 1 = strict compilation refused a source
+    (statically non-compilable constraint) or compilation failed, 2 =
+    usage or configuration error.
+    """
+    from repro.exceptions import PlanError
+    from repro.plan import PlanCache, compile_program, render_plan_text
+
+    args = build_compile_parser().parse_args(argv)
+    workloads = args.workload or []
+    if not args.configs and not workloads:
+        print(
+            "error: nothing to compile - pass a config file or --workload",
+            file=sys.stderr,
+        )
+        return 2
+    sources = _plan_sources(args.configs, workloads)
+    if args.out and len(sources) != 1:
+        print(
+            "error: --out needs exactly one source", file=sys.stderr
+        )
+        return 2
+
+    use_cache = args.cache or args.cache_dir is not None
+    cache = PlanCache(args.cache_dir) if use_cache else None
+    failed = False
+    json_documents = []
+    for source_name, factory in sources:
+        try:
+            schema, constraints = factory()
+            if cache is not None:
+                program, hit = cache.get_or_compile(
+                    schema, constraints, strict=args.strict
+                )
+            else:
+                program, hit = (
+                    compile_program(schema, constraints, strict=args.strict),
+                    False,
+                )
+        except PlanError as error:
+            print(f"error: {source_name}: {error}", file=sys.stderr)
+            for diagnostic in error.diagnostics:
+                print(f"  {diagnostic.code}  {diagnostic.message}", file=sys.stderr)
+            failed = True
+            continue
+        except ReproError as error:
+            print(f"error: {source_name}: {error}", file=sys.stderr)
+            return 2
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(program.to_json())
+        if args.format == "json":
+            json_documents.append({"source": source_name, **program.to_dict()})
+        else:
+            cached = " (cache hit)" if hit else ""
+            print(f"== {source_name}{cached} ==")
+            print(render_plan_text(program))
+    if args.format == "json":
+        print(json.dumps(json_documents, indent=2))
+    return 1 if failed else 0
+
+
+def build_explain_plan_parser() -> argparse.ArgumentParser:
+    """The ``repro explain-plan`` argparse parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro explain-plan",
+        description=(
+            "Render a compiled plan as a table: constraint -> engine "
+            "chain -> static cost estimate -> diagnostics.  Input is a "
+            "saved artifact (--plan), a configuration file, or a bundled "
+            "workload (compiled on the fly)."
+        ),
+    )
+    parser.add_argument(
+        "configs",
+        nargs="*",
+        metavar="CONFIG",
+        help="JSON configuration files whose plan to explain",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=LINT_WORKLOADS,
+        default=None,
+        help="explain a bundled workload's plan (repeatable)",
+    )
+    parser.add_argument(
+        "--plan",
+        metavar="FILE",
+        action="append",
+        default=None,
+        help="explain a saved plan artifact (from `repro compile --out`)",
+    )
+    return parser
+
+
+def explain_plan_main(argv: Sequence[str] | None = None) -> int:
+    """``repro explain-plan`` entry point; returns the process exit code."""
+    from repro.exceptions import PlanError
+    from repro.plan import CompiledProgram, compile_program, render_plan_text
+
+    args = build_explain_plan_parser().parse_args(argv)
+    workloads = args.workload or []
+    plans = args.plan or []
+    if not args.configs and not workloads and not plans:
+        print(
+            "error: nothing to explain - pass a config file, --workload, "
+            "or --plan",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        for path in plans:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    program = CompiledProgram.from_json(handle.read())
+            except OSError as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                return 2
+            print(f"== {path} ==")
+            print(render_plan_text(program))
+        for source_name, factory in _plan_sources(args.configs, workloads):
+            schema, constraints = factory()
+            program = compile_program(schema, constraints)
+            print(f"== {source_name} ==")
+            print(render_plan_text(program))
+    except PlanError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     """The ``repro trace`` argparse parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -399,15 +642,21 @@ def trace_main(argv: Sequence[str] | None = None) -> int:
 
 
 def repro_main(argv: Sequence[str] | None = None) -> int:
-    """``repro <subcommand>`` dispatcher (``repair``, ``lint``, ``trace``)."""
+    """``repro <subcommand>`` dispatcher.
+
+    Subcommands: ``repair``, ``lint``, ``compile``, ``explain-plan``,
+    ``trace``.
+    """
     arguments = list(sys.argv[1:] if argv is None else argv)
     if not arguments or arguments[0] in ("-h", "--help"):
         print(
-            "usage: repro {repair,lint,trace} ...\n\n"
+            "usage: repro {repair,lint,compile,explain-plan,trace} ...\n\n"
             "subcommands:\n"
-            "  repair  run the Figure-1 repair pipeline (see repro-repair)\n"
-            "  lint    statically analyze a constraint set\n"
-            "  trace   summarize a saved repair trace",
+            "  repair        run the Figure-1 repair pipeline (see repro-repair)\n"
+            "  lint          statically analyze a constraint set\n"
+            "  compile       compile constraints into a fingerprinted plan\n"
+            "  explain-plan  render a compiled plan as a table\n"
+            "  trace         summarize a saved repair trace",
             file=sys.stderr if arguments == [] else sys.stdout,
         )
         return 2 if not arguments else 0
@@ -416,11 +665,15 @@ def repro_main(argv: Sequence[str] | None = None) -> int:
         return main(rest)
     if subcommand == "lint":
         return lint_main(rest)
+    if subcommand == "compile":
+        return compile_main(rest)
+    if subcommand == "explain-plan":
+        return explain_plan_main(rest)
     if subcommand == "trace":
         return trace_main(rest)
     print(
         f"error: unknown subcommand {subcommand!r}; "
-        "choose 'repair', 'lint', or 'trace'",
+        "choose 'repair', 'lint', 'compile', 'explain-plan', or 'trace'",
         file=sys.stderr,
     )
     return 2

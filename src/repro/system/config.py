@@ -128,6 +128,9 @@ class RepairConfig:
     streaming_shards: int | None = None
     lint_preflight: bool = False
     lint_fail_on: str = "error"
+    plan_enabled: bool = False
+    plan_cache_dir: str | None = None
+    plan_strict: bool = False
 
     @property
     def execution_policy(self) -> ExecutionPolicy:
@@ -270,6 +273,8 @@ class RepairConfig:
                 f"got {lint_fail_on!r}"
             )
 
+        plan = _parse_plan(data.get("plan", False))
+
         export = data.get("export", {"mode": "update"})
         if not isinstance(export, Mapping):
             raise ConfigError("export must be an object")
@@ -306,7 +311,47 @@ class RepairConfig:
             streaming_shards=streaming[4],
             lint_preflight=lint_preflight,
             lint_fail_on=lint_fail_on,
+            plan_enabled=plan[0],
+            plan_cache_dir=plan[1],
+            plan_strict=plan[2],
         )
+
+
+def _parse_plan(data: Any) -> "tuple[bool, str | None, bool]":
+    """Validate the ``plan`` block (bool or object form).
+
+    ``true`` enables plan compilation with the default on-disk cache;
+    the object form is ``{"enabled": bool, "cache_dir": str | null,
+    "strict": bool}``.  ``cache_dir`` overrides the cache location
+    (``null`` keeps the ``REPRO_PLAN_CACHE`` / ``~/.cache/repro/plans``
+    resolution); ``strict`` refuses to run when any constraint is not
+    statically compilable (see :mod:`repro.plan.compiler`).
+    """
+    if isinstance(data, bool):
+        return data, None, False
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"plan must be a boolean or an object, got {data!r}"
+        )
+    known = {"enabled", "cache_dir", "strict"}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown plan key(s) {sorted(unknown)}; "
+            f"choose from {sorted(known)}"
+        )
+    enabled = data.get("enabled", True)
+    if not isinstance(enabled, bool):
+        raise ConfigError(f"plan.enabled must be a boolean, got {enabled!r}")
+    cache_dir = data.get("cache_dir")
+    if cache_dir is not None and not isinstance(cache_dir, str):
+        raise ConfigError(
+            f"plan.cache_dir must be a string or null, got {cache_dir!r}"
+        )
+    strict = data.get("strict", False)
+    if not isinstance(strict, bool):
+        raise ConfigError(f"plan.strict must be a boolean, got {strict!r}")
+    return enabled, cache_dir, strict
 
 
 def _parse_trace(data: Any) -> tuple[bool, str | None, str]:

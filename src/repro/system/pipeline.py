@@ -47,6 +47,7 @@ class ProgramReport:
     trace: Any = None
     trace_note: str | None = None
     streaming_note: str | None = None
+    plan_note: str | None = None
 
     def summary(self) -> str:
         """Human-readable run report."""
@@ -56,6 +57,8 @@ class ProgramReport:
             lines.append(f"tuples deleted   : {self.deletion.deletions}")
         if self.streaming_note is not None:
             lines.append(f"streaming        : {self.streaming_note}")
+        if self.plan_note is not None:
+            lines.append(f"plan             : {self.plan_note}")
         lines.append(f"export           : {self.export_note}")
         if self.trace_note is not None:
             lines.append(f"trace            : {self.trace_note}")
@@ -113,15 +116,45 @@ class RepairProgram:
                 report=report,
             )
 
+    def compile_plan(self) -> "tuple[Any, str] | tuple[None, None]":
+        """Compile (or cache-load) the static plan the ``plan`` block asks for.
+
+        Returns ``(plan, note)``; ``(None, None)`` when plan compilation
+        is disabled or does not apply (deletion-based semantics rewrite
+        the constraint set per run, so a precompiled artifact of the
+        configured constraints would never match).  Strict-compilation
+        failures propagate as :class:`~repro.exceptions.PlanError`.
+        """
+        if not self.config.plan_enabled:
+            return None, None
+        if self.config.repair_semantics in ("delete", "mixed"):
+            return None, None
+        from repro.plan import PlanCache
+
+        cache = PlanCache(self.config.plan_cache_dir)
+        program, hit = cache.get_or_compile(
+            self.config.schema,
+            self.config.constraints,
+            strict=self.config.plan_strict,
+        )
+        note = (
+            f"{program.fingerprint[:12]} "
+            f"({'cache hit' if hit else 'compiled'}, "
+            f"{len(program.executed_entries)} executed, "
+            f"{len(program.skipped_entries)} eliminated)"
+        )
+        return program, note
+
     def run(self, export: bool = True) -> ProgramReport:
         """Execute the full pipeline; ``export=False`` is a dry run."""
         if self.config.lint_preflight:
             self.preflight()
+        plan, plan_note = self.compile_plan()
         instance = self.load()
         if self.config.repair_semantics in ("delete", "mixed"):
             return self._run_deletion(instance, export)
         if self.config.streaming_enabled:
-            return self._run_streaming(instance, export)
+            return self._run_streaming(instance, export, plan, plan_note)
 
         violations = None
         if self.config.violation_detection == "sql":
@@ -139,6 +172,7 @@ class RepairProgram:
             engine=self.config.detection_engine,
             solver_engine=self.config.solver_engine,
             trace=self.config.trace_enabled,
+            plan=plan,
         )
         if export:
             note = self.backend.export_repair(
@@ -153,10 +187,15 @@ class RepairProgram:
             export_note=note,
             trace=trace,
             trace_note=trace_note,
+            plan_note=plan_note,
         )
 
     def _run_streaming(
-        self, instance: DatabaseInstance, export: bool
+        self,
+        instance: DatabaseInstance,
+        export: bool,
+        plan: Any = None,
+        plan_note: str | None = None,
     ) -> ProgramReport:
         """Streaming semantics: feed the loaded rows through the pipeline.
 
@@ -188,6 +227,7 @@ class RepairProgram:
             engine=self.config.detection_engine,
             solver_engine=self.config.solver_engine,
             shards=self.config.streaming_shards,
+            plan=plan,
         )
         for relation in self.config.schema:
             for tup in instance.tuples(relation.name):
@@ -216,6 +256,7 @@ class RepairProgram:
             trace=trace,
             trace_note=trace_note,
             streaming_note=streaming_note,
+            plan_note=plan_note,
         )
 
     def _run_deletion(

@@ -5,6 +5,7 @@ import pytest
 from repro import repair_database
 from repro.analysis import explain_repair, explain_tuple
 from repro.repair import build_repair_problem
+from repro.violations.detector import find_all_violations, violations_of_tuple
 
 
 class TestExplainTuple:
@@ -57,6 +58,47 @@ class TestExplainTuple:
         assert "candidate fixes" in text
         assert "ic3" in text
 
+    def test_agrees_with_detector_violation_sets(self, paper_pub):
+        """The explanation's violations are exactly ``I(D, IC, t)``.
+
+        ``explain_tuple`` must report the same sets the detector funnel
+        produces - same constraints, same witness tuples - for every
+        tuple of the instance, consistent ones included.
+        """
+        instance, constraints = paper_pub.instance, paper_pub.constraints
+        all_violations = find_all_violations(instance, constraints)
+        problem = build_repair_problem(instance, constraints)
+        for relation in instance.schema:
+            for tup in instance.tuples(relation.name):
+                explanation = explain_tuple(
+                    instance, constraints, relation.name, tup.key, problem=problem
+                )
+                expected = violations_of_tuple(all_violations, tup)
+                got = {
+                    (v.constraint.name, frozenset(t.ref for t in v))
+                    for v in explanation.violations
+                }
+                want = {
+                    (v.constraint.name, frozenset(t.ref for t in v))
+                    for v in expected
+                }
+                assert got == want, f"mismatch for {tup!r}"
+                assert explanation.degree == len(expected)
+
+    def test_zero_violation_tuple_summary(self, paper_pub):
+        """A consistent tuple explains cleanly: degree 0, no fix section."""
+        explanation = explain_tuple(
+            paper_pub.instance, paper_pub.constraints, "Paper", ("E3",)
+        )
+        assert explanation.degree == 0
+        assert explanation.violations == ()
+        assert explanation.candidates == ()
+        text = explanation.summary()
+        assert "degree 0" in text
+        assert "violates" not in text
+        assert "candidate fixes" not in text
+        assert "(no single-attribute fix on this tuple)" not in text
+
 
 class TestExplainRepair:
     def test_every_change_covers_something(self, paper_pub):
@@ -87,3 +129,36 @@ class TestExplainRepair:
             paper_pub.instance, paper_pub.constraints, result
         ):
             assert "covering" in explanation.summary()
+
+    def test_annotates_every_change_in_order(self, paper_pub):
+        """One explanation per change, aligned with ``result.changes``."""
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        assert result.changes  # the paper example is inconsistent
+        explanations = explain_repair(
+            paper_pub.instance, paper_pub.constraints, result
+        )
+        assert [e.change for e in explanations] == list(result.changes)
+
+    def test_covered_sets_come_from_the_detector(self, paper_pub):
+        """Every covered violation is a genuine detector violation set."""
+        instance, constraints = paper_pub.instance, paper_pub.constraints
+        result = repair_database(instance, constraints)
+        detector_sets = {
+            (v.constraint.name, frozenset(t.ref for t in v))
+            for v in find_all_violations(instance, constraints)
+        }
+        for explanation in explain_repair(instance, constraints, result):
+            for violation in explanation.covered:
+                key = (
+                    violation.constraint.name,
+                    frozenset(t.ref for t in violation),
+                )
+                assert key in detector_sets
+
+    def test_no_changes_no_explanations(self, paper_pub):
+        """A consistent instance repairs with zero changes to annotate."""
+        result = repair_database(paper_pub.instance, paper_pub.constraints)
+        repaired = result.repaired
+        rerun = repair_database(repaired, paper_pub.constraints)
+        assert rerun.changes == ()
+        assert explain_repair(repaired, paper_pub.constraints, rerun) == ()

@@ -1,0 +1,117 @@
+"""The ``plan`` configuration block and its pipeline integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigError
+from repro.system import RepairConfig
+from repro.system.pipeline import RepairProgram
+
+
+def minimal_config(**plan) -> dict:
+    document = {
+        "schema": {
+            "relations": [
+                {
+                    "name": "Client",
+                    "key": ["id"],
+                    "attributes": [
+                        {"name": "id"},
+                        {"name": "a", "flexible": True},
+                        {"name": "c", "flexible": True},
+                    ],
+                }
+            ]
+        },
+        "constraints": ["ic1: NOT(Client(id, a, c), a < 18, c > 50)"],
+        "source": {"backend": "memory", "rows": {"Client": [[1, 15, 60]]}},
+    }
+    document.update(plan)
+    return document
+
+
+class TestPlanBlockParsing:
+    def test_default_disabled(self):
+        config = RepairConfig.from_dict(minimal_config())
+        assert config.plan_enabled is False
+        assert config.plan_cache_dir is None
+        assert config.plan_strict is False
+
+    def test_boolean_form(self):
+        config = RepairConfig.from_dict(minimal_config(plan=True))
+        assert config.plan_enabled is True
+        assert config.plan_cache_dir is None
+        assert config.plan_strict is False
+
+    def test_object_form(self):
+        config = RepairConfig.from_dict(
+            minimal_config(
+                plan={"enabled": True, "cache_dir": "/tmp/p", "strict": True}
+            )
+        )
+        assert config.plan_enabled is True
+        assert config.plan_cache_dir == "/tmp/p"
+        assert config.plan_strict is True
+
+    def test_object_form_enabled_defaults_true(self):
+        config = RepairConfig.from_dict(minimal_config(plan={"strict": True}))
+        assert config.plan_enabled is True
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="plan"):
+            RepairConfig.from_dict(minimal_config(plan={"cache": "/tmp"}))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError, match="plan"):
+            RepairConfig.from_dict(minimal_config(plan="yes"))
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(ConfigError):
+            RepairConfig.from_dict(minimal_config(plan={"enabled": "yes"}))
+        with pytest.raises(ConfigError):
+            RepairConfig.from_dict(minimal_config(plan={"cache_dir": 7}))
+
+
+class TestPipelineIntegration:
+    def test_plan_note_in_report(self, tmp_path):
+        config = RepairConfig.from_dict(
+            minimal_config(plan={"cache_dir": str(tmp_path)})
+        )
+        report = RepairProgram(config).run(export=False)
+        assert report.plan_note is not None
+        assert "compiled" in report.plan_note
+        assert "plan" in report.summary()
+
+    def test_second_run_is_a_cache_hit(self, tmp_path):
+        config = RepairConfig.from_dict(
+            minimal_config(plan={"cache_dir": str(tmp_path)})
+        )
+        RepairProgram(config).run(export=False)
+        report = RepairProgram(config).run(export=False)
+        assert "cache hit" in report.plan_note
+
+    def test_disabled_plan_has_no_note(self):
+        config = RepairConfig.from_dict(minimal_config())
+        report = RepairProgram(config).run(export=False)
+        assert report.plan_note is None
+
+    def test_planned_run_equals_unplanned_run(self, tmp_path):
+        unplanned = RepairProgram(
+            RepairConfig.from_dict(minimal_config())
+        ).run(export=False)
+        planned = RepairProgram(
+            RepairConfig.from_dict(
+                minimal_config(plan={"cache_dir": str(tmp_path)})
+            )
+        ).run(export=False)
+        assert planned.result.changes == unplanned.result.changes
+        assert planned.result.repaired == unplanned.result.repaired
+
+    def test_deletion_semantics_skips_plan(self, tmp_path):
+        document = minimal_config(plan={"cache_dir": str(tmp_path)})
+        document["repair_semantics"] = "delete"
+        config = RepairConfig.from_dict(document)
+        report = RepairProgram(config).run(export=False)
+        assert report.plan_note is None
+        assert list(tmp_path.glob("*.json")) == []

@@ -1,0 +1,113 @@
+"""The acceptance scenario: warm plan-cache reuse on the TPC-H workload.
+
+``repro compile`` (or any ``PlanCache.get_or_compile``) on the
+TPC-H-like constraint program stores an artifact; a second request is a
+cache *hit* (observable on the ``plan_cache_hits`` counter), and a
+``repair_database`` call that receives the compiled plan skips the
+per-call static re-analysis - no second lint run, no second locality
+check - proven here with spies on the analysis entry points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_denials, repair_database
+from repro.obs.trace import Tracer
+from repro.plan import PlanCache, compile_program
+from repro.workloads.tpch_like import (
+    TPCH_CONSTRAINTS,
+    tpch_like_schema,
+    tpch_like_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    # Small scale: the acceptance is about re-analysis elimination and
+    # cache behavior, not data volume.
+    return tpch_like_workload(scale_factor=0.02, violation_ratio=0.3, seed=9)
+
+
+class TestWarmCacheReuse:
+    def test_second_compile_is_a_counted_hit(self, tmp_path):
+        schema = tpch_like_schema()
+        constraints = parse_denials(TPCH_CONSTRAINTS)
+        cache = PlanCache(tmp_path)
+        tracer = Tracer()
+        with tracer.activate():
+            cold, cold_hit = cache.get_or_compile(schema, constraints)
+            warm, warm_hit = cache.get_or_compile(schema, constraints)
+        assert (cold_hit, warm_hit) == (False, True)
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.entries == cold.entries
+        assert tracer.metrics.counter("plan_cache_misses").value == 1
+        assert tracer.metrics.counter("plan_cache_hits").value == 1
+
+    def test_warm_plan_round_trips_from_disk(self, tmp_path, tpch):
+        """The warm plan (deserialized from the cache file) validates
+        against the live workload and repairs identically."""
+        cache = PlanCache(tmp_path)
+        cache.get_or_compile(tpch.schema, tpch.constraints)
+        warm, hit = cache.get_or_compile(tpch.schema, tpch.constraints)
+        assert hit
+        warm.require_match(tpch.schema, tpch.constraints)
+        unplanned = repair_database(tpch.instance, tpch.constraints)
+        planned = repair_database(tpch.instance, tpch.constraints, plan=warm)
+        assert planned.changes == unplanned.changes
+        assert planned.repaired == unplanned.repaired
+
+
+class TestReanalysisEliminated:
+    def test_planned_repair_skips_lint_and_locality(self, tpch, monkeypatch):
+        """With a compiled plan, the second ``repair_database`` call runs
+        zero static re-analysis: the lint analyzer is never invoked
+        (the plan carries its report) and ``check_local_set`` is skipped
+        (locality was proven at compile time)."""
+        program = compile_program(tpch.schema, tpch.constraints)
+        assert program.solver.locality_ok
+
+        import repro.constraints.locality as locality_module
+        import repro.lint.analyzer as analyzer_module
+        import repro.repair.builder as builder_module
+
+        calls = {"lint": 0, "locality": 0}
+        real_lint = analyzer_module.lint_constraints
+        real_locality = locality_module.check_local_set
+
+        def spy_lint(*args, **kwargs):
+            calls["lint"] += 1
+            return real_lint(*args, **kwargs)
+
+        def spy_locality(*args, **kwargs):
+            calls["locality"] += 1
+            return real_locality(*args, **kwargs)
+
+        monkeypatch.setattr(analyzer_module, "lint_constraints", spy_lint)
+        # builder imported the symbol directly; patch both views.
+        monkeypatch.setattr(builder_module, "check_local_set", spy_locality)
+        monkeypatch.setattr(locality_module, "check_local_set", spy_locality)
+
+        planned = repair_database(
+            tpch.instance, tpch.constraints, preflight=True, plan=program
+        )
+        assert calls == {"lint": 0, "locality": 0}
+
+        # The unplanned call (same flags) does re-analyze - the spies
+        # work, and the plan really is what eliminated the re-analysis.
+        unplanned = repair_database(
+            tpch.instance, tpch.constraints, preflight=True
+        )
+        assert calls["lint"] >= 1
+        assert calls["locality"] >= 1
+        assert planned.changes == unplanned.changes
+
+    def test_plan_preflight_uses_stored_report(self, tpch):
+        """preflight=True with a plan gates on the compile-time lint
+        report; the tpch set has no errors, so it passes."""
+        program = compile_program(tpch.schema, tpch.constraints)
+        assert not program.lint.errors
+        result = repair_database(
+            tpch.instance, tpch.constraints, preflight=True, plan=program
+        )
+        assert result.verified

@@ -1,0 +1,83 @@
+"""CI dogfood: lint + strict plan compilation over every bundled workload.
+
+The constraint-lint CI leg runs ``repro lint`` and ``repro compile
+--strict`` over all bundled workloads and asserts specific exit codes.
+This suite pins the same matrix in-process so a behavior change that
+would break the CI leg fails the tier-1 suite first, with a readable
+diff of which workload moved.
+
+Expected matrix (exit codes):
+
+==========  ====================  ===============  =======================
+workload    lint --fail-on error  compile          compile --strict
+==========  ====================  ===============  =======================
+clientbuy   0                     0                0
+finance     0                     0                0
+census      0                     0                0
+paperdemo   0                     0                0
+tpch        0                     0                1  (tq6 is conditional)
+==========  ====================  ===============  =======================
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.cli import LINT_WORKLOADS, repro_main
+
+#: workload -> (lint rc, compile rc, compile --strict rc)
+EXPECTED = {
+    "clientbuy": (0, 0, 0),
+    "finance": (0, 0, 0),
+    "census": (0, 0, 0),
+    "paperdemo": (0, 0, 0),
+    # tq6's kernel/pushdown execution is data-dependent (LINT050/051):
+    # plain compilation succeeds (the runtime falls back to the
+    # interpreted engine), strict compilation refuses with exit 1.
+    "tpch": (0, 0, 1),
+}
+
+
+def test_matrix_covers_every_bundled_workload() -> None:
+    assert set(EXPECTED) == set(LINT_WORKLOADS)
+
+
+@pytest.mark.parametrize("workload", sorted(EXPECTED))
+def test_lint_exit_code(workload: str, capsys: pytest.CaptureFixture) -> None:
+    rc = repro_main(["lint", "--workload", workload, "--fail-on", "error"])
+    capsys.readouterr()
+    assert rc == EXPECTED[workload][0]
+
+
+@pytest.mark.parametrize("workload", sorted(EXPECTED))
+def test_compile_exit_code(workload: str, capsys: pytest.CaptureFixture) -> None:
+    rc = repro_main(["compile", "--workload", workload])
+    capsys.readouterr()
+    assert rc == EXPECTED[workload][1]
+
+
+@pytest.mark.parametrize("workload", sorted(EXPECTED))
+def test_compile_strict_exit_code(
+    workload: str, capsys: pytest.CaptureFixture
+) -> None:
+    rc = repro_main(["compile", "--workload", workload, "--strict"])
+    captured = capsys.readouterr()
+    assert rc == EXPECTED[workload][2]
+    if rc == 1:
+        # The refusal must be a structured strict-compilation error that
+        # names the offending constraint, not a crash or usage error.
+        assert "strict compilation failed" in captured.err
+        assert "LINT061" in captured.err
+
+
+def test_compile_all_workloads_in_one_invocation(
+    capsys: pytest.CaptureFixture,
+) -> None:
+    args = ["compile"]
+    for workload in LINT_WORKLOADS:
+        args += ["--workload", workload]
+    rc = repro_main(args)
+    captured = capsys.readouterr()
+    assert rc == 0
+    for workload in LINT_WORKLOADS:
+        assert f"workload:{workload}" in captured.out

@@ -1,0 +1,85 @@
+"""The strict-mypy scope in pyproject.toml only ever grows.
+
+``[tool.mypy] packages`` lists the packages checked strictly.  This test
+pins the floor: the list must contain (at least) every package that has
+already been made strict.  Removing one to silence a type error is a
+regression; the correct fix is to repair the annotations.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+
+PYPROJECT = Path(__file__).resolve().parents[2] / "pyproject.toml"
+
+#: Packages that have been brought under strict checking.  APPEND ONLY.
+STRICT_FLOOR = frozenset({"repro.lint", "repro.plan", "repro.constraints"})
+
+
+def _mypy_config() -> dict:
+    with PYPROJECT.open("rb") as handle:
+        return tomllib.load(handle)["tool"]["mypy"]
+
+
+def test_strict_package_list_contains_the_floor() -> None:
+    packages = set(_mypy_config()["packages"])
+    missing = STRICT_FLOOR - packages
+    assert not missing, (
+        f"pyproject.toml [tool.mypy] packages dropped {sorted(missing)}; "
+        "the strict scope only grows - fix the annotations instead"
+    )
+
+
+def test_strict_mode_enabled() -> None:
+    config = _mypy_config()
+    assert config["strict"] is True
+    assert config["warn_unreachable"] is True
+
+
+def test_overrides_unignore_every_strict_package() -> None:
+    """Each strict package needs an override re-enabling error reporting.
+
+    The blanket ``repro.*`` override ignores errors outside the strict
+    scope; without a per-package ``ignore_errors = false`` override the
+    strict packages would be silently skipped too.
+    """
+    with PYPROJECT.open("rb") as handle:
+        overrides = tomllib.load(handle)["tool"]["mypy"]["overrides"]
+    unignored = {
+        entry["module"]
+        for entry in overrides
+        if entry.get("ignore_errors") is False
+    }
+    for package in STRICT_FLOOR:
+        assert f"{package}.*" in unignored, (
+            f"no 'ignore_errors = false' override for {package}.*"
+        )
+
+
+def test_signature_annotations_complete_in_strict_packages() -> None:
+    """mypy isn't importable everywhere, so pin the load-bearing half
+    statically: every function in the strict packages annotates all of
+    its parameters and its return type."""
+    import ast
+
+    src = PYPROJECT.parent / "src"
+    problems: list[str] = []
+    for package in STRICT_FLOOR:
+        package_dir = src / Path(*package.split("."))
+        for path in sorted(package_dir.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                args = (
+                    node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+                )
+                for arg in args:
+                    if arg.annotation is None and arg.arg not in ("self", "cls"):
+                        problems.append(f"{path}:{node.lineno} {node.name}({arg.arg})")
+                if node.returns is None and node.name != "__init__":
+                    problems.append(f"{path}:{node.lineno} {node.name} -> ?")
+    assert not problems, "unannotated signatures in strict packages:\n" + "\n".join(
+        problems
+    )
