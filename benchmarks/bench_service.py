@@ -1,0 +1,141 @@
+"""Repair-as-a-service: warm artifact-cache speedup on repeat jobs.
+
+N tenants repairing the same (schema, constraints, data) through the
+:class:`~repro.service.runtime.RepairService` should pay for compilation
+and violation detection once: job 0 populates the
+:class:`~repro.service.cache.ArtifactCache` (compiled plan + lint +
+detected violations) and every repeat job reuses them, leaving only the
+set-cover solve and apply inside the job.
+
+The benchmark times the same job two ways on the TPC-H-like workload:
+
+* **cold** - every job runs in a fresh service (empty cache), so it
+  compiles and detects for itself; and
+* **warm** - one long-lived service, job 0 warms the cache, then the
+  timed repeat jobs hit it.
+
+Every job's result must be byte-identical to a direct serial
+``repair_database`` call (the service's determinism contract), and the
+**warm repeat speedup** is the committed acceptance ratchet
+(``speedups.warm_repeat_speedup`` in ``BENCH_service.json``, diffed by
+CI via ``compare_snapshots.py``).  Jobs are timed one at a time
+(submit -> result) so queue wait never pollutes the samples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro import repair_database
+from repro.service import RepairService
+from repro.workloads import tpch_like_workload
+
+from conftest import bench_sizes, quick_mode, record_bench_json, record_point
+
+TABLE = "Repair service: per-job latency (seconds)"
+QUICK = quick_mode()
+
+SCALE = bench_sizes(2.0, quick=1.0)
+REPEATS = bench_sizes(5, quick=3)
+SEED = 7
+VIOLATION_RATIO = 0.01
+
+
+async def _timed_job(service, workload):
+    """Submit one job, await its result; returns (seconds, result).
+
+    ``verify=False``: the verification audit is its own full O(|D|)
+    detection pass inside every job, cold or warm alike - leaving it on
+    would mask exactly the detection cost the cache removes.  Parity
+    with a *verified* serial reference is asserted separately.
+    """
+    started = time.perf_counter()
+    view = await service.submit(
+        workload.instance, tuple(workload.constraints), verify=False
+    )
+    result = await service.result(view.id)
+    return time.perf_counter() - started, result
+
+
+def _cold_samples(workload, repeats):
+    """Each job in its own fresh service: an always-cold cache."""
+
+    async def scenario():
+        samples = []
+        for _ in range(repeats):
+            async with RepairService(workers=1) as service:
+                seconds, result = await _timed_job(service, workload)
+                samples.append((seconds, result))
+        return samples
+
+    return asyncio.run(scenario())
+
+def _warm_samples(workload, repeats):
+    """One service; job 0 warms the cache, the timed repeats reuse it."""
+
+    async def scenario():
+        async with RepairService(workers=1) as service:
+            _, warmup_result = await _timed_job(service, workload)
+            samples = [await _timed_job(service, workload) for _ in range(repeats)]
+            stats = service.cache.stats()
+        return warmup_result, samples, stats
+
+    return asyncio.run(scenario())
+
+
+def test_warm_cache_accelerates_repeat_jobs():
+    workload = tpch_like_workload(
+        SCALE, violation_ratio=VIOLATION_RATIO, seed=SEED
+    )
+    reference = repair_database(workload.instance, workload.constraints)
+    assert reference.verified
+
+    cold = _cold_samples(workload, REPEATS)
+    warmup_result, warm, stats = _warm_samples(workload, REPEATS)
+
+    # Determinism first: every job, cold or warm, equals the serial call.
+    for result in [warmup_result] + [r for _, r in cold] + [r for _, r in warm]:
+        assert result.changes == reference.changes
+        assert result.cover_weight == reference.cover_weight
+
+    # Every timed warm job hit the cache for both plan and violations.
+    assert stats["misses"] == 2
+    assert stats["hits"] >= 2 * REPEATS
+
+    cold_mean = sum(s for s, _ in cold) / len(cold)
+    warm_mean = sum(s for s, _ in warm) / len(warm)
+    speedup = cold_mean / warm_mean if warm_mean else 0.0
+    n_tuples = len(workload.instance)
+    record_point(TABLE, "cold", n_tuples, cold_mean)
+    record_point(TABLE, "warm", n_tuples, warm_mean)
+
+    record_bench_json(
+        "service",
+        {
+            "scale": {
+                str(SCALE): {
+                    "n_tuples": n_tuples,
+                    "repeats": REPEATS,
+                    "cold_mean_seconds": cold_mean,
+                    "warm_mean_seconds": warm_mean,
+                    "cache": stats,
+                    "parity": True,
+                }
+            },
+            "workload": {
+                "name": "tpch-like",
+                "quick": QUICK,
+                "seed": SEED,
+                "violation_ratio": VIOLATION_RATIO,
+            },
+            # The acceptance ratchet: a warm cache must keep beating a
+            # cold compile+detect per job (both sides single-threaded,
+            # so the ratio is a property of the cache, not the runner).
+            "speedups": {"warm_repeat_speedup": speedup},
+        },
+    )
+    assert speedup >= 1.5, (
+        f"warm repeat jobs only {speedup:.2f}x over cold jobs "
+        f"(need >= 1.5x for the cache to pay for itself)"
+    )

@@ -166,6 +166,77 @@ class LintError(ReproError):
         self.report = report
 
 
+class ServiceError(ReproError):
+    """The repair-as-a-service job runtime failed (:mod:`repro.service`)."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in this service."""
+
+
+class JobCancelledError(ServiceError):
+    """The awaited job was cancelled before it produced a result.
+
+    Raised by ``RepairService.result`` when the job reached the
+    ``cancelled`` terminal state; ``job_id`` names the job.
+    """
+
+    def __init__(self, message: str, job_id: str = "") -> None:
+        super().__init__(message)
+        self.job_id = job_id
+
+
+class JobTimeoutError(ServiceError):
+    """The awaited job exceeded its per-job timeout.
+
+    The job was cooperatively cancelled and left the queue and artifact
+    cache in a consistent state; ``job_id`` / ``timeout`` carry the
+    job and its budget in seconds.
+    """
+
+    def __init__(self, message: str, job_id: str = "", timeout: float = 0.0) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.timeout = timeout
+
+
+class WorkerCrashError(ServiceError):
+    """A service worker died mid-job (transient - the runtime retries).
+
+    Raised by the fault-injection layer and by genuinely broken worker
+    pools.  Classified *transient*: the job runtime retries the job with
+    backoff up to its ``max_retries`` budget before failing the job with
+    this error as the structured cause.
+    """
+
+
+class PoisonedArtifactError(ServiceError):
+    """A cached artifact failed its integrity check and was refused.
+
+    Raised - never silently served - by
+    :class:`~repro.service.cache.ArtifactCache` when a stored entry's
+    content digest no longer matches the one recorded at insertion time
+    (a poisoned or corrupted artifact).  The entry is evicted as a side
+    effect; ``kind`` / ``key`` identify it, ``expected`` / ``actual``
+    carry the two digests.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "",
+        key: "tuple[Any, ...] | str" = "",
+        expected: str = "",
+        actual: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
 class ConfigError(ReproError):
     """Invalid repair-program configuration (Figure 1 configuration file)."""
 

@@ -19,12 +19,21 @@ attribute lookups per instrumented site - no spans are ever created
 (the overhead-regression suite in ``tests/obs`` pins this down).
 
 Thread fan-in
-    The active tracer is process-global and the span stack is
-    per-thread.  A span opened on a pool thread whose stack is empty
-    attaches to the tracer's *anchor* - the innermost open span that was
-    started with ``anchor=True`` (the engine marks its ``detect`` and
-    ``solve`` stage spans that way) - so thread-pool workers' spans nest
-    under the stage that dispatched them.
+    Activation is **thread-local first**: the tracer a thread activated
+    is what its own ``current_tracer()`` calls see, so two concurrent
+    traced runs on different threads (the job runtime of
+    :mod:`repro.service` runs many) never interleave spans into each
+    other's traces.  Threads that never activated anything fall back to
+    the most recent activation process-wide, which keeps plain
+    single-run tracing working for ad-hoc helper threads.  The
+    :class:`~repro.runtime.executor.Executor` explicitly re-activates
+    the dispatching thread's tracer inside its thread-pool workers, so
+    fan-out always lands in the right trace.  A span opened on a pool
+    thread whose stack is empty attaches to the tracer's *anchor* - the
+    innermost open span that was started with ``anchor=True`` (the
+    engine marks its ``detect`` and ``solve`` stage spans that way) - so
+    thread-pool workers' spans nest under the stage that dispatched
+    them.
 
 Process fan-in
     Process-pool workers cannot see the parent's tracer.  The runtime
@@ -95,25 +104,45 @@ class _OpenSpan:
 
 
 class _Activation:
-    """Context manager installing a tracer as the process-global active one."""
+    """Context manager installing a tracer as the calling thread's active one.
 
-    __slots__ = ("_tracer", "_previous")
+    The activation is recorded twice: in the calling thread's local slot
+    (authoritative - concurrent activations on other threads never
+    disturb it) and in the process-global fallback slot read by threads
+    that have no local activation of their own.  Both are restored on
+    exit.
+    """
+
+    __slots__ = ("_tracer", "_previous_local", "_previous_global")
 
     def __init__(self, tracer: "Tracer | NullTracer") -> None:
         self._tracer = tracer
-        self._previous: "Tracer | NullTracer | None" = None
+        self._previous_local: "Tracer | NullTracer | None" = None
+        self._previous_global: "Tracer | NullTracer | None" = None
 
     def __enter__(self):
         global _ACTIVE
+        self._previous_local = getattr(_ACTIVE_LOCAL, "tracer", None)
+        _ACTIVE_LOCAL.tracer = self._tracer
         with _ACTIVE_LOCK:
-            self._previous = _ACTIVE
+            self._previous_global = _ACTIVE
             _ACTIVE = self._tracer
         return self._tracer
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         global _ACTIVE
+        if self._previous_local is None:
+            try:
+                del _ACTIVE_LOCAL.tracer
+            except AttributeError:  # pragma: no cover - defensive
+                pass
+        else:
+            _ACTIVE_LOCAL.tracer = self._previous_local
         with _ACTIVE_LOCK:
-            _ACTIVE = self._previous
+            # Only restore the fallback if no other thread activated in
+            # the meantime - last activation wins for anonymous threads.
+            if _ACTIVE is self._tracer:
+                _ACTIVE = self._previous_global
         return False
 
 
@@ -281,10 +310,20 @@ NULL_TRACER = NullTracer()
 
 _ACTIVE: "Tracer | NullTracer" = NULL_TRACER
 _ACTIVE_LOCK = threading.Lock()
+_ACTIVE_LOCAL = threading.local()
 
 
 def current_tracer() -> "Tracer | NullTracer":
-    """The process-global active tracer (:data:`NULL_TRACER` by default)."""
+    """The calling thread's active tracer (:data:`NULL_TRACER` by default).
+
+    A thread that activated a tracer (directly, or through the
+    executor's worker propagation) sees exactly that tracer; a thread
+    with no activation of its own sees the most recent activation
+    process-wide, or the null tracer when nothing is active.
+    """
+    local = getattr(_ACTIVE_LOCAL, "tracer", None)
+    if local is not None:
+        return local
     return _ACTIVE
 
 

@@ -6,10 +6,14 @@ cache directory.  The directory resolves, in order, from the explicit
 argument, the ``REPRO_PLAN_CACHE`` environment variable,
 ``$XDG_CACHE_HOME/repro/plans``, and ``~/.cache/repro/plans``.
 
-Hits and misses surface as :mod:`repro.obs` counters on the active
-tracer's metrics registry (``plan_cache_hits`` / ``plan_cache_misses``
-/ ``plan_cache_stale``); with tracing off the null registry swallows
-them at zero cost.  A cached file whose embedded fingerprint disagrees
+Hits and misses surface as :mod:`repro.obs` counters (``plan_cache_hits``
+/ ``plan_cache_misses`` / ``plan_cache_stale``) - by default on the
+active tracer's metrics registry (with tracing off the null registry
+swallows them at zero cost); a long-lived owner like the
+:mod:`repro.service` job runtime can instead pass its own
+:class:`~repro.obs.metrics.MetricsRegistry` at construction so counters
+accumulate across jobs rather than per traced run.  A cached file whose
+embedded fingerprint disagrees
 with the requested one (hand-edited, corrupted, truncated) counts as
 *stale* (``LINT062``) and is treated as a miss - it is never applied.
 """
@@ -25,6 +29,7 @@ from repro.constraints.denial import DenialConstraint
 from repro.exceptions import PlanError
 from repro.model.schema import Schema
 from repro.obs import current_tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.plan.compiler import compile_program, default_availability
 from repro.plan.program import (
     CompiledProgram,
@@ -44,12 +49,29 @@ def default_cache_dir() -> Path:
 
 
 class PlanCache:
-    """A small content-addressed store of compiled plans."""
+    """A small content-addressed store of compiled plans.
 
-    def __init__(self, directory: "str | os.PathLike[str] | None" = None) -> None:
+    ``metrics`` fixes the registry the hit/miss/stale counters land in;
+    by default each lookup reports to whatever tracer is active at call
+    time.
+    """
+
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str] | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         self.directory = (
             Path(directory) if directory is not None else default_cache_dir()
         )
+        self._metrics = metrics
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The registry lookups report to (owned or the active tracer's)."""
+        if self._metrics is not None:
+            return self._metrics
+        return current_tracer().metrics
 
     def path_for(self, fingerprint: str, availability_sig: str) -> Path:
         """Where the artifact for one cache key lives."""
@@ -64,7 +86,7 @@ class PlanCache:
         pushdown: bool | None = None,
     ) -> CompiledProgram | None:
         """A cached plan for the live inputs, or ``None`` on a miss."""
-        metrics = current_tracer().metrics
+        metrics = self.metrics
         availability = default_availability(kernel=kernel, pushdown=pushdown)
         fingerprint = program_fingerprint(schema, tuple(constraints))
         path = self.path_for(fingerprint, availability_signature(availability))

@@ -177,11 +177,30 @@ class Executor:
 
         Exceptions from ``fn`` propagate.  Pool failures fall back to the
         serial loop (see module docstring) when the policy allows it.
+
+        Thread-pool workers run under the *dispatching* thread's active
+        tracer: activation is thread-local (see :mod:`repro.obs.trace`),
+        so without explicit propagation a worker thread would fall back
+        to whichever tracer some concurrent run activated last - under
+        the :mod:`repro.service` job runtime that would interleave spans
+        across jobs.  Process workers keep the explicit
+        ``export_remote``/``attach_remote`` protocol instead.
         """
         items = list(items)
         backend = self.backend
         if backend == "serial" or self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        if backend == "thread":
+            from repro.obs import current_tracer
+
+            tracer = current_tracer()
+            if tracer.enabled:
+                inner = fn
+
+                def fn(item, _inner=inner, _tracer=tracer):
+                    with _tracer.activate():
+                        return _inner(item)
+
         pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
         workers = min(self.workers, len(items))
         try:

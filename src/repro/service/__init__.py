@@ -1,0 +1,73 @@
+"""Repair-as-a-service: async job runtime, artifact cache, fault harness.
+
+Public surface:
+
+* :class:`RepairService` / :func:`run_jobs` - the asyncio job runtime
+  (submit / status / result / cancel) bridging onto the repair pipeline;
+* :class:`ArtifactCache` - cross-job cache of compiled plans, lint
+  reports and detected violations, fingerprint + data-token keyed;
+* :class:`JobQueue` - bounded admission with the streaming layer's
+  ``block``/``error`` backpressure semantics;
+* :class:`FaultPolicy` / :class:`ScriptedFaults` - the deterministic
+  fault-injection hooks of the concurrency test harness.
+"""
+
+from repro.service.cache import (
+    COLUMNAR,
+    JOIN_INDEX,
+    KINDS,
+    LINT,
+    PLAN,
+    VIOLATIONS,
+    ArtifactCache,
+)
+from repro.service.faults import NO_FAULTS, STAGES, FaultPolicy, ScriptedFaults
+from repro.service.jobs import (
+    CANCELLED,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    TIMED_OUT,
+    Job,
+    JobError,
+    JobView,
+    instance_digest,
+    job_id_for,
+)
+from repro.service.queue import JobQueue
+from repro.service.runtime import ALLOWED_PARAMS, JobRequest, RepairService, run_jobs
+
+__all__ = [
+    "ALLOWED_PARAMS",
+    "ArtifactCache",
+    "CANCELLED",
+    "COLUMNAR",
+    "FAILED",
+    "FaultPolicy",
+    "JOB_STATES",
+    "JOIN_INDEX",
+    "Job",
+    "JobError",
+    "JobQueue",
+    "JobRequest",
+    "JobView",
+    "KINDS",
+    "LINT",
+    "NO_FAULTS",
+    "PENDING",
+    "PLAN",
+    "RUNNING",
+    "RepairService",
+    "STAGES",
+    "SUCCEEDED",
+    "ScriptedFaults",
+    "TERMINAL_STATES",
+    "TIMED_OUT",
+    "VIOLATIONS",
+    "instance_digest",
+    "job_id_for",
+    "run_jobs",
+]

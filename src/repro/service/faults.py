@@ -1,0 +1,137 @@
+"""Deterministic fault injection for the service concurrency harness.
+
+A :class:`FaultPolicy` is a set of hooks the
+:class:`~repro.service.runtime.RepairService` consults at fixed points
+of each job's execution - the *stages*::
+
+    start -> plan -> detect -> repair -> finish
+
+Faults are scripted **by job sequence number and stage**, never by wall
+clock or randomness, so every injected failure is reproducible run over
+run - which is what lets the hypothesis suite assert exact terminal
+states under concurrency.  Three fault shapes cover the harness's needs:
+
+``kill``
+    Raise :class:`~repro.exceptions.WorkerCrashError` when the job
+    reaches the stage - a worker dying mid-detect.  Transient: the
+    runtime retries with backoff, so a kill budget smaller than the
+    job's ``max_retries`` exercises recovery, a larger one exercises
+    the ``worker-crash`` terminal failure.
+
+``stall``
+    Sleep at the stage in small cancel-aware increments - a solve that
+    hangs past the job timeout.  The stall honours the job's
+    ``cancel_event``, mirroring real cooperative code: a timed-out or
+    cancelled job unwinds promptly instead of hanging a worker slot.
+
+``poison``
+    Corrupt one :class:`~repro.service.cache.ArtifactCache` entry
+    (via :meth:`~repro.service.cache.ArtifactCache.poison`) right after
+    the job publishes it, so the *next* job that hits the entry gets the
+    structured :class:`~repro.exceptions.PoisonedArtifactError` refusal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.exceptions import WorkerCrashError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.service.cache import ArtifactCache
+    from repro.service.jobs import Job
+
+#: Stages at which the runtime consults the fault policy.
+STAGES = ("start", "plan", "detect", "repair", "finish")
+
+#: Granularity of cancel-event polling inside an injected stall.
+_STALL_TICK = 0.02
+
+
+class FaultPolicy:
+    """No-fault base policy; the runtime calls these hooks unconditionally.
+
+    Subclass (or use :class:`ScriptedFaults`) to inject failures.  Hooks
+    run on the bridge thread executing the job, so raising from
+    :meth:`on_stage` fails that job's current attempt exactly as a real
+    worker fault would.
+    """
+
+    def on_stage(self, job: "Job", stage: str) -> None:
+        """Called when ``job`` reaches ``stage``; raise to fail the attempt."""
+
+    def on_artifact_put(
+        self, job: "Job", cache: "ArtifactCache", kind: str, data_token: str
+    ) -> None:
+        """Called after ``job`` stores a ``kind`` artifact in ``cache``."""
+
+
+#: The default, shared do-nothing policy.
+NO_FAULTS = FaultPolicy()
+
+
+class ScriptedFaults(FaultPolicy):
+    """Faults scripted by (job sequence, stage) - fully deterministic.
+
+    Parameters
+    ----------
+    kill:
+        ``{(sequence, stage): n}`` - raise :class:`WorkerCrashError` the
+        first ``n`` times job ``sequence`` reaches ``stage`` (so ``n``
+        smaller than the retry budget tests recovery, larger tests
+        terminal failure).
+    stall:
+        ``{(sequence, stage): seconds}`` - sleep that long at the stage,
+        waking early if the job is cancelled.
+    poison:
+        ``{sequence: kind}`` - after job ``sequence`` stores a ``kind``
+        artifact, poison that cache entry.
+    """
+
+    def __init__(
+        self,
+        kill: "dict[tuple[int, str], int] | None" = None,
+        stall: "dict[tuple[int, str], float] | None" = None,
+        poison: "dict[int, str] | None" = None,
+    ) -> None:
+        for key in kill or ():
+            self._check_stage(key[1])
+        for key in stall or ():
+            self._check_stage(key[1])
+        self._kill = dict(kill or {})
+        self._stall = dict(stall or {})
+        self._poison = dict(poison or {})
+        #: (sequence, stage, fault) triples actually fired, in order.
+        self.fired: "list[tuple[int, str, str]]" = []
+
+    @staticmethod
+    def _check_stage(stage: str) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown fault stage {stage!r}; choose from {STAGES}")
+
+    def on_stage(self, job: "Job", stage: str) -> None:
+        key = (job.sequence, stage)
+        remaining = self._kill.get(key, 0)
+        if remaining > 0:
+            self._kill[key] = remaining - 1
+            self.fired.append((job.sequence, stage, "kill"))
+            raise WorkerCrashError(
+                f"injected worker crash: job {job.id} at stage {stage!r} "
+                f"({remaining - 1} kills remaining)"
+            )
+        duration = self._stall.pop(key, 0.0)
+        if duration > 0:
+            self.fired.append((job.sequence, stage, "stall"))
+            deadline = time.monotonic() + duration
+            while time.monotonic() < deadline:
+                if job.cancel_event.wait(_STALL_TICK):
+                    return
+
+    def on_artifact_put(
+        self, job: "Job", cache: "ArtifactCache", kind: str, data_token: str
+    ) -> None:
+        if self._poison.get(job.sequence) == kind:
+            del self._poison[job.sequence]
+            if cache.poison(kind, job.fingerprint, data_token):
+                self.fired.append((job.sequence, kind, "poison"))

@@ -1,0 +1,122 @@
+"""Bounded async job queue with the streaming layer's admission semantics.
+
+The :class:`JobQueue` is the admission-control stage of the
+:class:`~repro.service.runtime.RepairService`: submissions enter here,
+worker tasks pull from here.  Its bound and policy names deliberately
+reuse the streaming repairer's contract
+(:data:`repro.repair.streaming.BACKPRESSURE_POLICIES`):
+
+* ``"block"`` - an over-bound submission *awaits* until a worker frees a
+  slot (asyncio-cooperative, so other jobs keep flowing);
+* ``"error"`` - an over-bound submission raises
+  :class:`~repro.exceptions.BackpressureError` immediately, carrying the
+  pending count and bound; the rejected job is **not** enqueued and
+  nothing already queued is disturbed.
+
+Pending jobs can be *withdrawn* (cancel-before-start): :meth:`withdraw`
+removes the job and wakes one blocked submitter, so a cancelled pending
+job frees its admission slot - part of the "cancelled jobs leave the
+queue consistent" test contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.exceptions import BackpressureError, RuntimeConfigError
+from repro.repair.streaming import BACKPRESSURE_POLICIES
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.service.jobs import Job
+
+
+class JobQueue:
+    """FIFO of pending jobs, bounded by ``max_pending`` admissions.
+
+    The bound covers jobs *waiting* for a worker; a job leaves the count
+    the moment a worker takes it.  ``max_pending=None`` means unbounded
+    (admission control off).  All methods must run on the service's
+    event loop.
+    """
+
+    def __init__(
+        self,
+        max_pending: int | None = None,
+        backpressure: str = "block",
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise RuntimeConfigError(
+                f"max_pending must be a positive integer or None, got {max_pending}"
+            )
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise RuntimeConfigError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"choose from {', '.join(BACKPRESSURE_POLICIES)}"
+            )
+        self.max_pending = max_pending
+        self.backpressure = backpressure
+        self._pending: "deque[Job]" = deque()
+        self._condition = asyncio.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _has_room(self) -> bool:
+        return self.max_pending is None or len(self._pending) < self.max_pending
+
+    async def put(self, job: "Job") -> None:
+        """Admit ``job``, applying the configured backpressure policy."""
+        async with self._condition:
+            if self._closed:
+                raise RuntimeConfigError("cannot submit to a closed job queue")
+            if not self._has_room():
+                if self.backpressure == "error":
+                    raise BackpressureError(
+                        f"job queue full: {len(self._pending)} pending jobs at "
+                        f"the max_pending={self.max_pending} bound; job "
+                        f"{job.id} rejected (retry or use backpressure='block')",
+                        pending=len(self._pending),
+                        max_pending=self.max_pending,
+                    )
+                await self._condition.wait_for(
+                    lambda: self._closed or self._has_room()
+                )
+                if self._closed:
+                    raise RuntimeConfigError("cannot submit to a closed job queue")
+            self._pending.append(job)
+            self._condition.notify_all()
+
+    async def get(self) -> "Job | None":
+        """The next pending job, or ``None`` once the queue is drained+closed."""
+        async with self._condition:
+            await self._condition.wait_for(
+                lambda: self._pending or self._closed
+            )
+            if not self._pending:
+                return None
+            job = self._pending.popleft()
+            self._condition.notify_all()
+            return job
+
+    async def withdraw(self, job: "Job") -> bool:
+        """Remove a still-pending job (cancel-before-start); True if removed."""
+        async with self._condition:
+            try:
+                self._pending.remove(job)
+            except ValueError:
+                return False
+            self._condition.notify_all()
+            return True
+
+    async def close(self) -> None:
+        """Stop admissions; pending jobs still drain, then ``get`` yields None."""
+        async with self._condition:
+            self._closed = True
+            self._condition.notify_all()

@@ -28,6 +28,14 @@ explain-plan`` renders a plan (from a config, workload, or saved
 artifact) as a ``constraint -> engine chain -> cost -> diagnostics``
 table.
 
+``repro serve`` runs a batch of repair jobs through the
+repair-as-a-service runtime (:mod:`repro.service`): bounded admission,
+per-job timeouts, retry with backoff, and a shared artifact cache, with
+deterministic ``--inject-kill`` / ``--inject-stall`` /
+``--inject-poison`` fault hooks for the concurrency stress harness.
+Exit code 0 means every job reached a terminal state (with
+``--expect-clean``: every job succeeded).
+
 ``repro trace <file>`` replays a saved trace (native or Chrome format)
 as an aggregated summary table - count, wall, CPU, p50/p99 and share
 per span name; ``--tree`` prints the full span tree instead, and
@@ -598,6 +606,328 @@ def explain_plan_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+#: Workloads ``repro serve`` can instantiate with data (seeded builders).
+SERVE_WORKLOADS = ("clientbuy", "tpch")
+
+
+def _serve_workload(name: str, size: int, seed: int):
+    """Build one seeded workload instance for the service harness."""
+    if name == "clientbuy":
+        from repro.workloads import client_buy_workload
+
+        return client_buy_workload(
+            n_clients=size, inconsistency_ratio=0.3, seed=seed
+        )
+    from repro.workloads import tpch_like_workload
+
+    return tpch_like_workload(
+        scale_factor=max(1, size // 50), violation_ratio=0.05, seed=seed
+    )
+
+
+def _parse_fault_specs(kills, stalls, poisons):
+    """Translate ``--inject-*`` specs into a :class:`ScriptedFaults`.
+
+    ``--inject-kill SEQ:STAGE[:N]`` (N defaults to 1),
+    ``--inject-stall SEQ:STAGE:SECONDS``, ``--inject-poison SEQ:KIND``.
+    Raises ``ValueError`` with a usable message on malformed specs.
+    """
+    from repro.service import NO_FAULTS, ScriptedFaults
+
+    if not kills and not stalls and not poisons:
+        return NO_FAULTS
+    kill: dict = {}
+    for spec in kills or ():
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"--inject-kill expects SEQ:STAGE[:N], got {spec!r}")
+        kill[(int(parts[0]), parts[1])] = int(parts[2]) if len(parts) == 3 else 1
+    stall: dict = {}
+    for spec in stalls or ():
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"--inject-stall expects SEQ:STAGE:SECONDS, got {spec!r}"
+            )
+        stall[(int(parts[0]), parts[1])] = float(parts[2])
+    poison: dict = {}
+    for spec in poisons or ():
+        parts = spec.split(":")
+        if len(parts) != 2:
+            raise ValueError(f"--inject-poison expects SEQ:KIND, got {spec!r}")
+        poison[int(parts[0])] = parts[1]
+    return ScriptedFaults(kill=kill, stall=stall, poison=poison)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argparse parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the repair-as-a-service job runtime over a batch of "
+            "repair jobs: bounded admission, per-job timeouts with "
+            "cooperative cancellation, retry with backoff, and a shared "
+            "artifact cache (compiled plans, lint reports, detected "
+            "violations) across jobs.  Deterministic fault injection "
+            "(--inject-*) drives the concurrency stress harness."
+        ),
+    )
+    parser.add_argument(
+        "config",
+        nargs="?",
+        help="JSON configuration file providing (schema, constraints, "
+        "source) for the jobs; alternatively use --workload",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=SERVE_WORKLOADS,
+        help="run jobs over a bundled seeded workload instead of a config",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of repair jobs to submit (default 4)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="concurrent service workers (default: the config's "
+        "service.workers, else 2)",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=60,
+        metavar="N",
+        help="workload size knob for --workload (clients / rows-ish; "
+        "default 60)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="N",
+        help="base RNG seed for --workload data generation (default 7)",
+    )
+    parser.add_argument(
+        "--distinct-data",
+        action="store_true",
+        help="give every job its own seeded instance (seed+i) instead of "
+        "sharing one instance across jobs - exercises the data-token "
+        "keying of the artifact cache",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-job wall budget; exceeding it cancels the job "
+        "cooperatively and marks it timed-out",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        metavar="N",
+        help="queue admission bound (default: unbounded)",
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=["block", "error"],
+        help="policy when the queue is at --max-pending: block the "
+        "submitter or reject with BackpressureError (default block)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="retry budget for transient worker crashes (default 2)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        metavar="SECONDS",
+        help="base backoff between retries, doubled per attempt "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        metavar="N",
+        help="artifact cache bound (default 256)",
+    )
+    parser.add_argument(
+        "--trace-jobs",
+        action="store_true",
+        help="record a per-job trace (printable via job ids in --format "
+        "json output)",
+    )
+    parser.add_argument(
+        "--inject-kill",
+        action="append",
+        metavar="SEQ:STAGE[:N]",
+        help="kill job SEQ's worker the first N times it reaches STAGE "
+        "(start/plan/detect/repair/finish; repeatable)",
+    )
+    parser.add_argument(
+        "--inject-stall",
+        action="append",
+        metavar="SEQ:STAGE:SECONDS",
+        help="stall job SEQ at STAGE for SECONDS (cancel-aware; "
+        "repeatable)",
+    )
+    parser.add_argument(
+        "--inject-poison",
+        action="append",
+        metavar="SEQ:KIND",
+        help="poison the KIND artifact (plan/lint/violations) job SEQ "
+        "published, so the next reader refuses it (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--expect-clean",
+        action="store_true",
+        help="exit 1 unless every job succeeded (stress-gate mode; "
+        "without it, fault-induced failures are reported but exit 0)",
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """``repro serve`` entry point; returns the process exit code.
+
+    0 = batch completed (all jobs terminal; with ``--expect-clean``, all
+    succeeded), 1 = gate fired or service error, 2 = usage error.
+    """
+    from repro.service import JobRequest, run_jobs
+
+    args = build_serve_parser().parse_args(argv)
+    if bool(args.config) == bool(args.workload):
+        print(
+            "error: pass exactly one of CONFIG or --workload",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        faults = _parse_fault_specs(
+            args.inject_kill, args.inject_stall, args.inject_poison
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        params: dict = {}
+        if args.workload:
+            options = {
+                "workers": 2,
+                "max_pending": None,
+                "backpressure": "block",
+                "job_timeout": None,
+                "max_retries": 2,
+                "retry_backoff": 0.05,
+                "cache_entries": 256,
+                "trace_jobs": False,
+            }
+            def job_source(i: int):
+                seed = args.seed + i if args.distinct_data else args.seed
+                workload = _serve_workload(args.workload, args.size, seed)
+                return workload.instance, tuple(workload.constraints)
+        else:
+            config = RepairConfig.from_file(args.config)
+            options = config.service_options()
+            program = RepairProgram(config)
+            instance = program.load()
+            constraints = config.constraints
+            params = {
+                "algorithm": config.algorithm,
+                "metric": config.metric,
+                "engine": config.detection_engine,
+                "solver_engine": config.solver_engine,
+            }
+            if config.runtime_backend != "serial":
+                params["parallel"] = config.runtime_backend
+                params["max_workers"] = config.runtime_workers
+            def job_source(i: int):
+                return instance, constraints
+        if args.workers is not None:
+            options["workers"] = args.workers
+        if args.job_timeout is not None:
+            options["job_timeout"] = args.job_timeout
+        if args.max_pending is not None:
+            options["max_pending"] = args.max_pending
+        if args.backpressure is not None:
+            options["backpressure"] = args.backpressure
+        if args.retries is not None:
+            options["max_retries"] = args.retries
+        if args.retry_backoff is not None:
+            options["retry_backoff"] = args.retry_backoff
+        if args.cache_entries is not None:
+            options["cache_entries"] = args.cache_entries
+        if args.trace_jobs:
+            options["trace_jobs"] = True
+
+        requests = []
+        for i in range(args.jobs):
+            instance, constraints = job_source(i)
+            requests.append(
+                JobRequest(instance, constraints, params=params, label=f"job{i}")
+            )
+        views, service = run_jobs(requests, faults=faults, **options)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    by_status: dict = {}
+    for view in views:
+        by_status[view.status] = by_status.get(view.status, 0) + 1
+    stats = service.cache.stats()
+    if args.format == "json":
+        document = {
+            "jobs": [view.to_dict() for view in views],
+            "by_status": by_status,
+            "cache": stats,
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for view in views:
+            line = f"{view.id}  {view.status:10s} attempts={view.attempts}"
+            if view.error is not None:
+                line += f"  [{view.error.code}] {view.error.message}"
+            print(line)
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(by_status.items())
+        )
+        print(f"-- {len(views)} job(s): {summary}")
+        print(
+            f"-- artifact cache: {stats['hits']:.0f} hit(s), "
+            f"{stats['misses']:.0f} miss(es), "
+            f"{stats['evictions']:.0f} eviction(s), "
+            f"{stats['poisoned']:.0f} poisoned"
+        )
+    non_terminal = [v for v in views if not v.terminal]
+    if non_terminal:
+        print(
+            f"error: {len(non_terminal)} job(s) never reached a terminal "
+            "state",
+            file=sys.stderr,
+        )
+        return 1
+    if args.expect_clean and by_status.get("succeeded", 0) != len(views):
+        print("error: --expect-clean and not every job succeeded", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     """The ``repro trace`` argparse parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -645,17 +975,18 @@ def repro_main(argv: Sequence[str] | None = None) -> int:
     """``repro <subcommand>`` dispatcher.
 
     Subcommands: ``repair``, ``lint``, ``compile``, ``explain-plan``,
-    ``trace``.
+    ``serve``, ``trace``.
     """
     arguments = list(sys.argv[1:] if argv is None else argv)
     if not arguments or arguments[0] in ("-h", "--help"):
         print(
-            "usage: repro {repair,lint,compile,explain-plan,trace} ...\n\n"
+            "usage: repro {repair,lint,compile,explain-plan,serve,trace} ...\n\n"
             "subcommands:\n"
             "  repair        run the Figure-1 repair pipeline (see repro-repair)\n"
             "  lint          statically analyze a constraint set\n"
             "  compile       compile constraints into a fingerprinted plan\n"
             "  explain-plan  render a compiled plan as a table\n"
+            "  serve         run a batch of jobs through the repair service\n"
             "  trace         summarize a saved repair trace",
             file=sys.stderr if arguments == [] else sys.stdout,
         )
@@ -669,11 +1000,14 @@ def repro_main(argv: Sequence[str] | None = None) -> int:
         return compile_main(rest)
     if subcommand == "explain-plan":
         return explain_plan_main(rest)
+    if subcommand == "serve":
+        return serve_main(rest)
     if subcommand == "trace":
         return trace_main(rest)
     print(
         f"error: unknown subcommand {subcommand!r}; "
-        "choose 'repair', 'lint', 'compile', 'explain-plan', or 'trace'",
+        "choose 'repair', 'lint', 'compile', 'explain-plan', 'serve', "
+        "or 'trace'",
         file=sys.stderr,
     )
     return 2

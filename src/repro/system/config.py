@@ -57,6 +57,15 @@ from the source are streamed through a bounded, coalescing commit queue
 instead of being repaired in one batch; requires the ``update`` repair
 semantics.
 
+The optional ``service`` block (``true`` or ``{"enabled": true,
+"workers": 4, "max_pending": 64, "backpressure": "block",
+"job_timeout": 30.0, "max_retries": 2, "retry_backoff": 0.05,
+"cache_entries": 256, "trace_jobs": false}``) configures the
+repair-as-a-service job runtime (:mod:`repro.service`, the ``repro
+serve`` subcommand): worker concurrency, queue admission (the streaming
+layer's ``block``/``error`` policies), the default per-job timeout and
+retry budget, and the shared artifact-cache bound.
+
 The optional ``lint`` block (``{"preflight": true, "fail_on": "error"}``)
 makes the pipeline run the static constraint analyzer
 (:mod:`repro.lint`) before loading any data and abort with a
@@ -131,6 +140,15 @@ class RepairConfig:
     plan_enabled: bool = False
     plan_cache_dir: str | None = None
     plan_strict: bool = False
+    service_enabled: bool = False
+    service_workers: int = 2
+    service_max_pending: int | None = None
+    service_backpressure: str = "block"
+    service_job_timeout: float | None = None
+    service_max_retries: int = 2
+    service_retry_backoff: float = 0.05
+    service_cache_entries: int = 256
+    service_trace_jobs: bool = False
 
     @property
     def execution_policy(self) -> ExecutionPolicy:
@@ -138,6 +156,20 @@ class RepairConfig:
         return ExecutionPolicy(
             backend=self.runtime_backend, max_workers=self.runtime_workers
         )
+
+    def service_options(self) -> "dict[str, Any]":
+        """The ``service`` block as :class:`repro.service.RepairService`
+        constructor keywords (``enabled`` excluded)."""
+        return {
+            "workers": self.service_workers,
+            "max_pending": self.service_max_pending,
+            "backpressure": self.service_backpressure,
+            "job_timeout": self.service_job_timeout,
+            "max_retries": self.service_max_retries,
+            "retry_backoff": self.service_retry_backoff,
+            "cache_entries": self.service_cache_entries,
+            "trace_jobs": self.service_trace_jobs,
+        }
 
     # -- parsing ------------------------------------------------------------
 
@@ -274,6 +306,7 @@ class RepairConfig:
             )
 
         plan = _parse_plan(data.get("plan", False))
+        service = _parse_service(data.get("service", False))
 
         export = data.get("export", {"mode": "update"})
         if not isinstance(export, Mapping):
@@ -314,6 +347,7 @@ class RepairConfig:
             plan_enabled=plan[0],
             plan_cache_dir=plan[1],
             plan_strict=plan[2],
+            **service,
         )
 
 
@@ -352,6 +386,124 @@ def _parse_plan(data: Any) -> "tuple[bool, str | None, bool]":
     if not isinstance(strict, bool):
         raise ConfigError(f"plan.strict must be a boolean, got {strict!r}")
     return enabled, cache_dir, strict
+
+
+def _parse_service(data: Any) -> "dict[str, Any]":
+    """Validate the ``service`` block (bool or object form).
+
+    The object form configures the :mod:`repro.service` job runtime::
+
+        {"enabled": true, "workers": 4, "max_pending": 64,
+         "backpressure": "block", "job_timeout": 30.0,
+         "max_retries": 2, "retry_backoff": 0.05,
+         "cache_entries": 256, "trace_jobs": false}
+
+    ``max_pending``/``backpressure`` reuse the streaming layer's
+    admission semantics; ``job_timeout`` (seconds, ``null`` = none) is
+    the default per-job budget; ``cache_entries`` bounds the shared
+    :class:`~repro.service.cache.ArtifactCache`.
+    """
+    from repro.repair.streaming import BACKPRESSURE_POLICIES
+
+    defaults: "dict[str, Any]" = {
+        "service_enabled": False,
+        "service_workers": 2,
+        "service_max_pending": None,
+        "service_backpressure": "block",
+        "service_job_timeout": None,
+        "service_max_retries": 2,
+        "service_retry_backoff": 0.05,
+        "service_cache_entries": 256,
+        "service_trace_jobs": False,
+    }
+    if isinstance(data, bool):
+        defaults["service_enabled"] = data
+        return defaults
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"service must be a boolean or an object, got {data!r}"
+        )
+    known = {
+        "enabled",
+        "workers",
+        "max_pending",
+        "backpressure",
+        "job_timeout",
+        "max_retries",
+        "retry_backoff",
+        "cache_entries",
+        "trace_jobs",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown service key(s) {sorted(unknown)}; "
+            f"choose from {sorted(known)}"
+        )
+
+    def boolean(key: str, default: bool) -> bool:
+        value = data.get(key, default)
+        if not isinstance(value, bool):
+            raise ConfigError(f"service.{key} must be a boolean, got {value!r}")
+        return value
+
+    def positive_int(key: str, default: int | None, nullable: bool = False):
+        value = data.get(key, default)
+        if value is None and nullable:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            null = " or null" if nullable else ""
+            raise ConfigError(
+                f"service.{key} must be a positive integer{null}, got {value!r}"
+            )
+        return value
+
+    defaults["service_enabled"] = boolean("enabled", True)
+    defaults["service_workers"] = positive_int("workers", 2)
+    defaults["service_max_pending"] = positive_int(
+        "max_pending", None, nullable=True
+    )
+    defaults["service_cache_entries"] = positive_int("cache_entries", 256)
+    backpressure = data.get("backpressure", "block")
+    if backpressure not in BACKPRESSURE_POLICIES:
+        raise ConfigError(
+            f"service.backpressure must be one of {BACKPRESSURE_POLICIES}, "
+            f"got {backpressure!r}"
+        )
+    defaults["service_backpressure"] = backpressure
+    job_timeout = data.get("job_timeout")
+    if job_timeout is not None and (
+        isinstance(job_timeout, bool)
+        or not isinstance(job_timeout, (int, float))
+        or job_timeout <= 0
+    ):
+        raise ConfigError(
+            f"service.job_timeout must be a positive number or null, "
+            f"got {job_timeout!r}"
+        )
+    defaults["service_job_timeout"] = (
+        float(job_timeout) if job_timeout is not None else None
+    )
+    max_retries = data.get("max_retries", 2)
+    if isinstance(max_retries, bool) or not isinstance(max_retries, int) or max_retries < 0:
+        raise ConfigError(
+            f"service.max_retries must be a non-negative integer, "
+            f"got {max_retries!r}"
+        )
+    defaults["service_max_retries"] = max_retries
+    retry_backoff = data.get("retry_backoff", 0.05)
+    if (
+        isinstance(retry_backoff, bool)
+        or not isinstance(retry_backoff, (int, float))
+        or retry_backoff < 0
+    ):
+        raise ConfigError(
+            f"service.retry_backoff must be a non-negative number, "
+            f"got {retry_backoff!r}"
+        )
+    defaults["service_retry_backoff"] = float(retry_backoff)
+    defaults["service_trace_jobs"] = boolean("trace_jobs", False)
+    return defaults
 
 
 def _parse_trace(data: Any) -> tuple[bool, str | None, str]:

@@ -1,4 +1,12 @@
-"""Shared fixtures: the paper's example databases and small workloads."""
+"""Shared fixtures: the paper's example databases and small workloads.
+
+The ``make_clientbuy`` / ``make_tpch`` *factory* fixtures are the
+preferred way test modules build seeded workloads: one place owns the
+default sizes, seeds and corruption knobs, and a test that needs a
+different shape overrides just the knob it cares about
+(``make_clientbuy(seed=3, inconsistency_ratio=0.0)``) instead of
+restating the full builder call.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +19,7 @@ from repro.workloads import (
     deletion_example,
     paper_example,
     paper_pub_example,
+    tpch_like_workload,
 )
 
 
@@ -33,9 +42,62 @@ def deletion_demo():
 
 
 @pytest.fixture
-def small_clientbuy():
+def make_clientbuy():
+    """Factory for seeded Client/Buy workloads with corruption knobs.
+
+    Call with overrides only: ``make_clientbuy()`` is the shared small
+    default; ``make_clientbuy(n_clients=120, inconsistency_ratio=0.0,
+    seed=3)`` reshapes it.  All :func:`client_buy_workload` keywords
+    pass through.
+    """
+
+    def build(
+        n_clients: int = 50,
+        *,
+        inconsistency_ratio: float = 0.4,
+        seed: int = 11,
+        **knobs,
+    ):
+        return client_buy_workload(
+            n_clients,
+            inconsistency_ratio=inconsistency_ratio,
+            seed=seed,
+            **knobs,
+        )
+
+    return build
+
+
+@pytest.fixture
+def make_tpch():
+    """Factory for seeded TPC-H-like workloads with corruption knobs.
+
+    ``make_tpch()`` builds a small dirty instance; override
+    ``scale_factor`` / ``violation_ratio`` / ``seed`` (or any other
+    :func:`tpch_like_workload` keyword) per test.
+    """
+
+    def build(
+        scale_factor: float = 0.05,
+        *,
+        violation_ratio: float = 0.2,
+        seed: int = 9,
+        **knobs,
+    ):
+        return tpch_like_workload(
+            scale_factor=scale_factor,
+            violation_ratio=violation_ratio,
+            seed=seed,
+            **knobs,
+        )
+
+    return build
+
+
+@pytest.fixture
+def small_clientbuy(make_clientbuy):
     """A small deterministic Client/Buy workload (fast, ~150 tuples)."""
-    return client_buy_workload(50, inconsistency_ratio=0.4, seed=11)
+    return make_clientbuy()
 
 
 @pytest.fixture

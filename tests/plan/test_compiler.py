@@ -47,10 +47,10 @@ class TestElimination:
         eliminated = next(d for d in program.provenance if d.code == ELIMINATED)
         assert eliminated.constraint == "ic_dead"
 
-    def test_elimination_is_byte_identical(self):
+    def test_elimination_is_byte_identical(self, make_clientbuy):
         """The hard contract: repairing with the plan (dead constraint
         skipped) equals repairing without it, change for change."""
-        workload = client_buy_workload(40, inconsistency_ratio=0.5, seed=3)
+        workload = make_clientbuy(40, inconsistency_ratio=0.5, seed=3)
         constraints = parse_denials(CLIENT_BUY_CONSTRAINTS + DEAD_CONSTRAINT)
         program = compile_program(workload.schema, constraints)
         assert program.solver.locality_ok is False

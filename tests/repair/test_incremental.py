@@ -121,10 +121,10 @@ class TestBatches:
 
 
 class TestAnchoredDetection:
-    def test_matches_full_detection_on_delta(self):
+    def test_matches_full_detection_on_delta(self, make_clientbuy):
         from repro import find_all_violations, repair_database
 
-        workload = client_buy_workload(40, inconsistency_ratio=0.0, seed=1)
+        workload = make_clientbuy(40, inconsistency_ratio=0.0, seed=1)
         instance = workload.instance.copy()
         new_client = instance.insert_row("Client", (500, 15, 90))
         new_buy = instance.insert_row("Buy", (500, 0, 99))

@@ -270,9 +270,9 @@ class TestRounds:
 
 
 class TestShardedParity:
-    def test_sharded_rounds_match_serial(self):
+    def test_sharded_rounds_match_serial(self, make_clientbuy):
         """Sharded Δ-anchored detection commits byte-identical repairs."""
-        workload = client_buy_workload(40, inconsistency_ratio=0.0, seed=3)
+        workload = make_clientbuy(40, inconsistency_ratio=0.0, seed=3)
 
         def run(shards):
             streamer = StreamingRepairer(

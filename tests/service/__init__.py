@@ -1,0 +1,1 @@
+"""Tests for the repair-as-a-service job runtime (repro.service)."""

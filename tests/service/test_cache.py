@@ -1,0 +1,150 @@
+"""ArtifactCache: keying, LRU bounds, integrity, poison refusal."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import PoisonedArtifactError
+from repro.obs.metrics import MetricsRegistry
+from repro.plan import compile_program
+from repro.service import (
+    COLUMNAR,
+    JOIN_INDEX,
+    LINT,
+    PLAN,
+    VIOLATIONS,
+    ArtifactCache,
+)
+from repro.violations.detector import find_all_violations
+
+
+@pytest.fixture
+def cache():
+    return ArtifactCache(max_entries=4, metrics=MetricsRegistry())
+
+
+class TestKeying:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(COLUMNAR, "fp1", "d1") is None
+        cache.put(COLUMNAR, "fp1", {"x": 1}, "d1")
+        assert cache.get(COLUMNAR, "fp1", "d1") == {"x": 1}
+
+    def test_data_token_distinguishes_entries(self, cache):
+        cache.put(COLUMNAR, "fp1", "for-d1", "d1")
+        assert cache.get(COLUMNAR, "fp1", "d2") is None
+        assert cache.get(COLUMNAR, "fp1", "d1") == "for-d1"
+
+    def test_plan_and_lint_are_data_independent(self, cache):
+        """Plans/lint depend only on (schema, constraints): the data
+        token is dropped from their key, so every instance shares them."""
+        sentinel = object()
+        cache.put(COLUMNAR, "fp", sentinel, "")  # digest-free kind
+        assert cache.key_for(PLAN, "fp", "d1") == cache.key_for(PLAN, "fp", "d2")
+        assert cache.key_for(LINT, "fp", "d1") == (LINT, "fp", "")
+        assert cache.key_for(VIOLATIONS, "fp", "d1") != cache.key_for(
+            VIOLATIONS, "fp", "d2"
+        )
+
+    def test_kind_distinguishes_entries(self, cache):
+        cache.put(COLUMNAR, "fp", "columnar-value")
+        assert cache.get(JOIN_INDEX, "fp") is None
+
+    def test_counters(self, cache):
+        cache.get(COLUMNAR, "fp")
+        cache.put(COLUMNAR, "fp", 1)
+        cache.get(COLUMNAR, "fp")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+
+class TestLRU:
+    def test_eviction_at_bound(self, cache):
+        for i in range(6):
+            cache.put(COLUMNAR, f"fp{i}", i)
+        assert len(cache) == 4
+        assert cache.get(COLUMNAR, "fp0") is None
+        assert cache.get(COLUMNAR, "fp5") == 5
+        assert cache.stats()["evictions"] == 2
+
+    def test_get_refreshes_recency(self, cache):
+        for i in range(4):
+            cache.put(COLUMNAR, f"fp{i}", i)
+        cache.get(COLUMNAR, "fp0")  # refresh the oldest
+        cache.put(COLUMNAR, "fp4", 4)
+        assert cache.get(COLUMNAR, "fp0") == 0
+        assert cache.get(COLUMNAR, "fp1") is None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_invalidate_and_clear(self, cache):
+        cache.put(COLUMNAR, "fp", 1)
+        assert cache.invalidate(COLUMNAR, "fp") is True
+        assert cache.invalidate(COLUMNAR, "fp") is False
+        cache.put(COLUMNAR, "fp", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestIntegrity:
+    def test_poisoned_entry_refused_and_evicted(self, cache):
+        cache.put(COLUMNAR, "fp", "value")
+        assert cache.poison(COLUMNAR, "fp") is True
+        with pytest.raises(PoisonedArtifactError) as excinfo:
+            cache.get(COLUMNAR, "fp")
+        assert excinfo.value.kind == COLUMNAR
+        # Refused once, evicted: afterwards it is a plain miss.
+        assert cache.get(COLUMNAR, "fp") is None
+        assert cache.stats()["poisoned"] == 1
+
+    def test_poison_missing_entry_is_noop(self, cache):
+        assert cache.poison(COLUMNAR, "nope") is False
+
+    def test_plan_digest_roundtrip(self, cache, small_clientbuy):
+        program = compile_program(
+            small_clientbuy.schema, small_clientbuy.constraints
+        )
+        cache.put(PLAN, program.fingerprint, program)
+        assert cache.get(PLAN, program.fingerprint) is program
+
+    def test_poisoned_plan_refused(self, cache, small_clientbuy):
+        program = compile_program(
+            small_clientbuy.schema, small_clientbuy.constraints
+        )
+        cache.put(PLAN, program.fingerprint, program)
+        cache.poison(PLAN, program.fingerprint)
+        with pytest.raises(PoisonedArtifactError):
+            cache.get(PLAN, program.fingerprint)
+
+    def test_violations_digest_roundtrip(self, cache, small_clientbuy):
+        violations = find_all_violations(
+            small_clientbuy.instance, small_clientbuy.constraints
+        )
+        cache.put(VIOLATIONS, "fp", violations, "d1")
+        assert cache.get(VIOLATIONS, "fp", "d1") == violations
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_respects_bound(self):
+        cache = ArtifactCache(max_entries=8, metrics=MetricsRegistry())
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(50):
+                    cache.put(COLUMNAR, f"fp{base}-{i % 10}", i)
+                    cache.get(COLUMNAR, f"fp{base}-{i % 10}")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8

@@ -1,0 +1,119 @@
+"""ScriptedFaults: deterministic kill/stall/poison hooks."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import PoisonedArtifactError, WorkerCrashError
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    VIOLATIONS,
+    ArtifactCache,
+    FaultPolicy,
+    NO_FAULTS,
+    ScriptedFaults,
+)
+from repro.service.jobs import Job
+
+
+def make_job(sequence: int) -> Job:
+    return Job(
+        sequence=sequence,
+        instance=None,  # type: ignore[arg-type]
+        constraints=(),
+        params={},
+        fingerprint="fp",
+        data_token="dt",
+        timeout=None,
+        max_retries=0,
+    )
+
+
+class TestNoFaults:
+    def test_base_policy_is_inert(self):
+        job = make_job(0)
+        NO_FAULTS.on_stage(job, "detect")
+        NO_FAULTS.on_artifact_put(job, None, VIOLATIONS, "dt")
+
+    def test_subclassable(self):
+        hits = []
+
+        class Recording(FaultPolicy):
+            def on_stage(self, job, stage):
+                hits.append((job.sequence, stage))
+
+        Recording().on_stage(make_job(3), "repair")
+        assert hits == [(3, "repair")]
+
+
+class TestKill:
+    def test_kill_budget_decrements(self):
+        faults = ScriptedFaults(kill={(0, "detect"): 2})
+        job = make_job(0)
+        with pytest.raises(WorkerCrashError):
+            faults.on_stage(job, "detect")
+        with pytest.raises(WorkerCrashError):
+            faults.on_stage(job, "detect")
+        faults.on_stage(job, "detect")  # budget exhausted: no fault
+        assert faults.fired == [(0, "detect", "kill")] * 2
+
+    def test_kill_targets_one_sequence_and_stage(self):
+        faults = ScriptedFaults(kill={(1, "repair"): 1})
+        faults.on_stage(make_job(0), "repair")
+        faults.on_stage(make_job(1), "detect")
+        with pytest.raises(WorkerCrashError):
+            faults.on_stage(make_job(1), "repair")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedFaults(kill={(0, "teleport"): 1})
+        with pytest.raises(ValueError):
+            ScriptedFaults(stall={(0, "warp"): 1.0})
+
+
+class TestStall:
+    def test_stall_sleeps_once(self):
+        faults = ScriptedFaults(stall={(0, "repair"): 0.1})
+        job = make_job(0)
+        started = time.monotonic()
+        faults.on_stage(job, "repair")
+        assert time.monotonic() - started >= 0.08
+        # One-shot: the second visit does not stall again.
+        started = time.monotonic()
+        faults.on_stage(job, "repair")
+        assert time.monotonic() - started < 0.05
+
+    def test_stall_wakes_on_cancel(self):
+        """The injected stall honours the cooperative cancel token - a
+        stalled job must not hang its worker slot."""
+        faults = ScriptedFaults(stall={(0, "repair"): 30.0})
+        job = make_job(0)
+        timer = threading.Timer(0.05, job.cancel_event.set)
+        timer.start()
+        started = time.monotonic()
+        faults.on_stage(job, "repair")
+        assert time.monotonic() - started < 5.0
+        timer.cancel()
+
+
+class TestPoison:
+    def test_poison_marks_cache_entry(self):
+        cache = ArtifactCache(metrics=MetricsRegistry())
+        cache.put(VIOLATIONS, "fp", ("v",), "dt")
+        faults = ScriptedFaults(poison={0: VIOLATIONS})
+        job = make_job(0)
+        faults.on_artifact_put(job, cache, VIOLATIONS, "dt")
+        assert faults.fired == [(0, VIOLATIONS, "poison")]
+        with pytest.raises(PoisonedArtifactError):
+            cache.get(VIOLATIONS, "fp", "dt")
+
+    def test_poison_only_fires_for_matching_kind(self):
+        cache = ArtifactCache(metrics=MetricsRegistry())
+        cache.put(VIOLATIONS, "fp", ("v",), "dt")
+        faults = ScriptedFaults(poison={0: "plan"})
+        faults.on_artifact_put(make_job(0), cache, VIOLATIONS, "dt")
+        assert faults.fired == []
+        assert cache.get(VIOLATIONS, "fp", "dt") == ("v",)

@@ -1,0 +1,142 @@
+"""JobQueue admission control: block/error backpressure, withdraw, close."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import BackpressureError, RuntimeConfigError
+from repro.service import JobQueue
+from repro.service.jobs import Job
+
+
+def make_job(sequence: int) -> Job:
+    """A queue-only job stub (never executed)."""
+    return Job(
+        sequence=sequence,
+        instance=None,  # type: ignore[arg-type]
+        constraints=(),
+        params={},
+        fingerprint="fp",
+        data_token="dt",
+        timeout=None,
+        max_retries=0,
+    )
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(RuntimeConfigError):
+            JobQueue(max_pending=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(RuntimeConfigError):
+            JobQueue(backpressure="drop")
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        async def scenario():
+            queue = JobQueue()
+            jobs = [make_job(i) for i in range(3)]
+            for job in jobs:
+                await queue.put(job)
+            return [(await queue.get()).sequence for _ in jobs]
+
+        assert run(scenario()) == [0, 1, 2]
+
+    def test_error_policy_rejects_at_bound(self):
+        async def scenario():
+            queue = JobQueue(max_pending=2, backpressure="error")
+            await queue.put(make_job(0))
+            await queue.put(make_job(1))
+            with pytest.raises(BackpressureError) as excinfo:
+                await queue.put(make_job(2))
+            assert excinfo.value.pending == 2
+            assert excinfo.value.max_pending == 2
+            # The rejected job was not enqueued; the queue is intact.
+            assert len(queue) == 2
+
+        run(scenario())
+
+    def test_block_policy_waits_for_room(self):
+        async def scenario():
+            queue = JobQueue(max_pending=1, backpressure="block")
+            await queue.put(make_job(0))
+            blocked = asyncio.create_task(queue.put(make_job(1)))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            taken = await queue.get()
+            await blocked
+            assert taken.sequence == 0
+            assert len(queue) == 1
+
+        run(scenario())
+
+
+class TestWithdraw:
+    def test_withdraw_removes_pending(self):
+        async def scenario():
+            queue = JobQueue()
+            job = make_job(0)
+            await queue.put(job)
+            assert await queue.withdraw(job) is True
+            assert await queue.withdraw(job) is False
+            assert len(queue) == 0
+
+        run(scenario())
+
+    def test_withdraw_frees_admission_slot(self):
+        """A cancelled pending job must unblock a waiting submitter."""
+
+        async def scenario():
+            queue = JobQueue(max_pending=1, backpressure="block")
+            job = make_job(0)
+            await queue.put(job)
+            blocked = asyncio.create_task(queue.put(make_job(1)))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            await queue.withdraw(job)
+            await asyncio.wait_for(blocked, timeout=1.0)
+            assert len(queue) == 1
+
+        run(scenario())
+
+
+class TestClose:
+    def test_get_drains_then_yields_none(self):
+        async def scenario():
+            queue = JobQueue()
+            await queue.put(make_job(0))
+            await queue.close()
+            first = await queue.get()
+            second = await queue.get()
+            return first.sequence, second
+
+        assert run(scenario()) == (0, None)
+
+    def test_put_after_close_rejected(self):
+        async def scenario():
+            queue = JobQueue()
+            await queue.close()
+            with pytest.raises(RuntimeConfigError):
+                await queue.put(make_job(0))
+
+        run(scenario())
+
+    def test_blocked_put_wakes_on_close(self):
+        async def scenario():
+            queue = JobQueue(max_pending=1)
+            await queue.put(make_job(0))
+            blocked = asyncio.create_task(queue.put(make_job(1)))
+            await asyncio.sleep(0.01)
+            await queue.close()
+            with pytest.raises(RuntimeConfigError):
+                await asyncio.wait_for(blocked, timeout=1.0)
+
+        run(scenario())
